@@ -1,0 +1,106 @@
+// Command evaluate regenerates the paper's evaluation tables and the
+// remaining figures: Table I (heterogeneous trunks), Table II (chiplet
+// arrangements vs baselines), Table III (occupancy upsampling), Fig 9
+// (NoP costs) and Fig 11 (lane context-aware computing). With -all it
+// prints everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/workloads"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "heterogeneous trunks integration (paper Table I)")
+	t2 := flag.Bool("table2", false, "chiplet arrangements vs baselines (paper Table II)")
+	t3 := flag.Bool("table3", false, "occupancy upsampling ablation (paper Table III)")
+	f9 := flag.Bool("fig9", false, "NoP data movement costs (paper Fig 9)")
+	f11 := flag.Bool("fig11", false, "lane context-aware computing (paper Fig 11)")
+	abl := flag.Bool("ablations", false, "design-choice ablations (dataflow, NoP, tolerance, queue depth)")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	ran := false
+
+	if *t1 || *all {
+		experiments.TableI(cfg).Table().Render(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *t2 || *all {
+		rows, err := experiments.Table2(cfg)
+		fail(err)
+		experiments.Table2Table(rows).Render(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *t3 || *all {
+		experiments.Table3Table(experiments.Table3(cfg)).Render(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *f9 || *all {
+		_, s, err := experiments.Fig5to8(cfg)
+		fail(err)
+		rows := experiments.Fig9(s)
+		experiments.Fig9Table(rows).Render(os.Stdout)
+		labels := make([]string, 0, len(rows))
+		lats := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			labels = append(labels, r.Label)
+			lats = append(lats, r.LatencyMs)
+		}
+		fmt.Println()
+		report.Bars(os.Stdout, "NoP latency per layer group", labels, lats, "ms")
+		fmt.Println()
+		ran = true
+	}
+	if *f11 || *all {
+		rows := experiments.Fig11(cfg, 82)
+		experiments.Fig11Table(rows, 82).Render(os.Stdout)
+		labels := make([]string, 0, len(rows))
+		lats := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			labels = append(labels, fmt.Sprintf("%d%%", r.ContextPct))
+			lats = append(lats, r.LatencyMs)
+		}
+		fmt.Println()
+		report.Bars(os.Stdout, "Lane trunk latency vs context retained", labels, lats, "ms")
+		ran = true
+	}
+	if *abl || *all {
+		rows, err := experiments.DataflowAblation(cfg)
+		fail(err)
+		experiments.DataflowAblationTable(rows).Render(os.Stdout)
+		fmt.Println()
+		np, err := experiments.NoPSensitivity(cfg)
+		fail(err)
+		experiments.NoPSensitivityTable(np).Render(os.Stdout)
+		fmt.Println()
+		ts, err := experiments.ToleranceSweep(cfg)
+		fail(err)
+		experiments.ToleranceSweepTable(ts).Render(os.Stdout)
+		fmt.Println()
+		td, err := experiments.TemporalDepthSweep(cfg)
+		fail(err)
+		experiments.TemporalDepthTable(td).Render(os.Stdout)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

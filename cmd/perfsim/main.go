@@ -1,0 +1,97 @@
+// Command perfsim profiles the perception workloads on single
+// accelerator chiplets under both dataflows — the paper's analysis
+// figures (Fig 3 breakdown, Fig 4 per-layer affinities).
+//
+// Usage:
+//
+//	perfsim -fig3          # per-component latency/energy breakdown
+//	perfsim -fig4          # per-layer OS/WS affinity deltas
+//	perfsim -model lane    # per-layer profile of one model
+//	perfsim -csv           # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/workloads"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "per-component breakdown (paper Fig 3)")
+	fig4 := flag.Bool("fig4", false, "per-layer OS/WS affinities (paper Fig 4)")
+	model := flag.String("model", "", "profile one model: fe|sfuse|tfuse|occupancy|lane|det")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	switch {
+	case *fig3:
+		r := experiments.Fig3(cfg)
+		emit(r.Table(), *csv)
+		fmt.Printf("\nOS speedup over WS: %.2fx (paper: 6.85x)\n", r.OSSpeedup)
+		fmt.Printf("WS energy gain: %.2fx all, %.2fx excluding fusion (paper: 1.2x / 1.55x)\n",
+			r.WSEnergyGain, r.WSEnergyGainNoFuse)
+		fmt.Printf("latency shares: S_FUSE %.0f%%, T_FUSE %.0f%% (paper: 25-28%% / 52-54%%)\n",
+			r.SFuseShare*100, r.TFuseShare*100)
+	case *fig4:
+		emit(experiments.Fig4Table(experiments.Fig4(cfg)), *csv)
+	case *model != "":
+		g, err := modelGraph(cfg, *model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		emit(profileTable(g), *csv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func modelGraph(cfg workloads.Config, name string) (*dnn.Graph, error) {
+	switch name {
+	case "fe":
+		return workloads.FEBFPN(cfg), nil
+	case "sfuse":
+		return workloads.SpatialFusion(cfg), nil
+	case "tfuse":
+		return workloads.TemporalFusion(cfg), nil
+	case "occupancy":
+		return workloads.OccupancyTrunk(cfg), nil
+	case "lane":
+		return workloads.LaneTrunk(cfg), nil
+	case "det":
+		return workloads.DetectionTrunk(cfg, "vehicle"), nil
+	default:
+		return nil, fmt.Errorf("perfsim: unknown model %q", name)
+	}
+}
+
+func profileTable(g *dnn.Graph) *report.Table {
+	osA := costmodel.SimbaChiplet(dataflow.OS)
+	wsA := costmodel.SimbaChiplet(dataflow.WS)
+	t := report.NewTable("Per-layer profile: "+g.Name+" (single 256-PE chiplet)",
+		"Layer", "Kind", "MACs(M)", "OS Lat(ms)", "OS bound", "WS Lat(ms)", "OS E(mJ)", "WS E(mJ)")
+	for _, n := range g.Nodes() {
+		co := costmodel.LayerOn(n.Layer, osA)
+		cw := costmodel.LayerOn(n.Layer, wsA)
+		t.AddRow(n.Layer.Name, n.Layer.Kind.String(), float64(n.Layer.MACs())/1e6,
+			co.LatencyMs, co.Bound, cw.LatencyMs, co.EnergyJ*1e3, cw.EnergyJ*1e3)
+	}
+	return t
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,109 @@
+// Command schedule runs the throughput-matching scheduler (Algorithm 1)
+// on a chosen package and prints the resulting mappings — the paper's
+// Figures 5-8 (per-stage mappings on the 6x6 MCM) and Figure 10 (the
+// dual-NPU progression).
+//
+// Usage:
+//
+//	schedule                 # full pipeline on the 6x6 Simba package
+//	schedule -npus 2         # dual-NPU, 72 chiplets (paper Fig 10)
+//	schedule -trace          # print every greedy step
+//	schedule -config f.json  # run a serialized experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmnpu/internal/config"
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+func main() {
+	npus := flag.Int("npus", 1, "active NPUs: 1 (6x6) or 2 (12x6, Fig 10)")
+	trace := flag.Bool("trace", false, "print the greedy algorithm steps")
+	cfgPath := flag.String("config", "", "experiment JSON (see internal/config)")
+	flag.Parse()
+
+	cfg := workloads.DefaultConfig()
+	if *cfgPath != "" {
+		exp, err := config.Load(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg = exp.Workload
+	}
+
+	if *npus == 2 {
+		r, err := experiments.Fig10(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Printf("\nfinal pipelining latency: %.1f ms (single NPU: %.1f ms, %.2fx)\n",
+			r.DualPipeMs, r.SinglePipeMs, r.SinglePipeMs/r.DualPipeMs)
+		return
+	}
+
+	rows, s, err := experiments.Fig5to8(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.Fig5to8Table(rows).Render(os.Stdout)
+	fmt.Println()
+	for _, sm := range rows {
+		if len(sm.Shards) == 0 {
+			continue
+		}
+		fmt.Printf("%s sharding:\n", sm.Stage)
+		for name, n := range sm.Shards {
+			fmt.Printf("  %-40s x%d\n", name, n)
+		}
+	}
+	printPlacement(s)
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	fmt.Printf("\noverall: pipe %.1f ms (%.1f FPS), E2E %.1f ms, %.3f J/frame, util %.1f%%\n",
+		m.PipeLatMs, m.FPS, m.E2EMs, m.EnergyJ, m.UtilPct)
+
+	if *trace {
+		t := report.NewTable("Algorithm steps", "Action", "Stage", "Pipe(ms)", "Free")
+		for _, st := range s.Steps {
+			t.AddRow(st.Action, st.Stage, st.PipeLatMs, st.ChipletsFree)
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
+	}
+}
+
+// printPlacement draws the mesh with each chiplet's stage assignment.
+func printPlacement(s *sched.Schedule) {
+	fmt.Println("\npackage map (stage index per chiplet, . = idle):")
+	owner := map[string]int{}
+	for i, ss := range s.Stages {
+		for _, u := range ss.Units {
+			for _, c := range u.Chiplets {
+				owner[c.String()] = i + 1
+			}
+		}
+	}
+	for y := 0; y < s.MCM.GridH; y++ {
+		fmt.Print("  ")
+		for x := 0; x < s.MCM.GridW; x++ {
+			key := fmt.Sprintf("(%d,%d)", x, y)
+			if st, ok := owner[key]; ok {
+				fmt.Printf("%d ", st)
+			} else {
+				fmt.Print(". ")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,76 @@
+// Custom workload: the library is not tied to the Autopilot pipeline.
+// This example defines a fresh two-stage workload — a video encoder
+// backbone feeding a transformer head — through the public dnn API,
+// wraps it in a workloads.Pipeline, and schedules it on the MCM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/tensor"
+	"mcmnpu/internal/workloads"
+)
+
+func backbone() *dnn.Graph {
+	g := dnn.NewGraph("video_encoder")
+	in := tensor.NCHW(1, 3, 480, 640)
+	c1 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "enc.conv1", In: in, OutC: 32, Kernel: 5, Stride: 2, Pad: 2, FusedOps: 2}))
+	c2 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "enc.conv2", In: c1.Layer.Out, OutC: 64, Kernel: 3, Stride: 2, Pad: 1, FusedOps: 2}), c1)
+	c3 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "enc.conv3", In: c2.Layer.Out, OutC: 128, Kernel: 3, Stride: 2, Pad: 1, FusedOps: 2}), c2)
+	g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "enc.proj", In: c3.Layer.Out, OutC: 192, Kernel: 1}), c3)
+	return g
+}
+
+func head() *dnn.Graph {
+	g := dnn.NewGraph("transformer_head")
+	const tokens, d = 4800, 192 // 60x80 grid
+	qkv := g.Add(dnn.NewBatchedLinear("head.qkv", 4, tokens, d, 3*d))
+	lg := g.Add(dnn.NewMatMul("head.logits", 4, tokens, d, 64), qkv)
+	sm := g.Add(dnn.NewSoftmax("head.softmax", 4, tokens, 64), lg)
+	av := g.Add(dnn.NewMatMul("head.av", 4, tokens, 64, d), sm)
+	f1 := g.Add(dnn.NewBatchedLinear("head.ffn1", 4, tokens, d, 4*d), av)
+	g.Add(dnn.NewBatchedLinear("head.ffn2", 4, tokens, 4*d, d), f1)
+	return g
+}
+
+func main() {
+	enc := backbone()
+	tr := head()
+	for _, g := range []*dnn.Graph{enc, tr} {
+		if err := g.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		s := g.Summarize()
+		fmt.Printf("%-18s %3d layers  %6.2f GMACs  %5.1f M params\n",
+			g.Name, s.Layers, float64(s.MACs)/1e9, float64(s.Params)/1e6)
+	}
+
+	p := &workloads.Pipeline{
+		Config: workloads.DefaultConfig(),
+		Stages: []workloads.Stage{
+			{Name: "encoder", Graphs: []*dnn.Graph{enc}, Replicas: 4}, // 4 streams
+			{Name: "head", Graphs: []*dnn.Graph{tr}, Replicas: 1},
+		},
+	}
+	s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	fmt.Printf("\nscheduled on %s: pipe %.2f ms (%.0f FPS), %.4f J/frame, util %.1f%%\n",
+		s.MCM.Name, m.PipeLatMs, m.FPS, m.EnergyJ, m.UtilPct)
+	for i := range p.Stages {
+		ss := s.Stages[i]
+		fmt.Printf("  %-8s pipe %.2f ms on %d chiplets\n", ss.Name, ss.PipeLatMs, len(ss.Pool))
+	}
+}

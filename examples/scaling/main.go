@@ -1,0 +1,36 @@
+// Scaling: activate both FSD NPUs (two 6x6 Simba packages, 72 chiplets)
+// and watch Algorithm 1 drive the pipelining latency down to roughly
+// half of the single-package figure — the paper's Fig 10 study,
+// including the FE+BFPN pipeline split at the balanced ResNet cut.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/workloads"
+)
+
+func main() {
+	cfg := workloads.DefaultConfig()
+	r, err := experiments.Fig10(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("single NPU (36 chiplets): pipe %.1f ms\n", r.SinglePipeMs)
+	fmt.Printf("dual NPU   (72 chiplets): pipe %.1f ms  (%.2fx)\n\n",
+		r.DualPipeMs, r.SinglePipeMs/r.DualPipeMs)
+
+	fmt.Println("greedy progression (compare the paper's Fig 10 annotations):")
+	last := -1.0
+	for _, st := range r.Steps {
+		if st.PipeLatMs == last {
+			continue // only print steps that moved the bottleneck
+		}
+		last = st.PipeLatMs
+		fmt.Printf("  %-42s pipe=%7.2f ms  chiplets free=%d\n",
+			st.Action, st.PipeLatMs, st.ChipletsFree)
+	}
+}

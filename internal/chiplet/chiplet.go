@@ -1,0 +1,211 @@
+// Package chiplet describes multi-chip-module (MCM) NPU packages: a 2-D
+// mesh of accelerator chiplets plus a Network-on-Package cost model.
+// Presets cover the paper's configurations — the 6x6 Simba-like package
+// (36 x 256 PEs = 9,216 PEs, matching the Tesla FSD NPU budget), the
+// monolithic and few-chip baselines of Table II, and the dual-NPU
+// 72-chiplet arrangement of Fig 10.
+package chiplet
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/nop"
+)
+
+// MCM is a package of chiplets on a GridW x GridH mesh.
+type MCM struct {
+	Name   string
+	GridW  int
+	GridH  int
+	NoP    nop.Params
+	accels map[nop.Coord]*costmodel.Accel
+}
+
+// New builds an MCM with one chiplet per mesh position, created by mk.
+func New(name string, gridW, gridH int, p nop.Params, mk func(nop.Coord) *costmodel.Accel) (*MCM, error) {
+	if gridW <= 0 || gridH <= 0 {
+		return nil, fmt.Errorf("chiplet: invalid grid %dx%d", gridW, gridH)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &MCM{Name: name, GridW: gridW, GridH: gridH, NoP: p,
+		accels: make(map[nop.Coord]*costmodel.Accel, gridW*gridH)}
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			c := nop.Coord{X: x, Y: y}
+			a := mk(c)
+			if err := a.Validate(); err != nil {
+				return nil, fmt.Errorf("chiplet %v: %w", c, err)
+			}
+			m.accels[c] = a
+		}
+	}
+	return m, nil
+}
+
+// At returns the chiplet at c (nil if out of range).
+func (m *MCM) At(c nop.Coord) *costmodel.Accel { return m.accels[c] }
+
+// SetAt replaces the chiplet at c (used for heterogeneous integration).
+func (m *MCM) SetAt(c nop.Coord, a *costmodel.Accel) error {
+	if _, ok := m.accels[c]; !ok {
+		return fmt.Errorf("chiplet: coord %v outside %s", c, m.Name)
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	m.accels[c] = a
+	return nil
+}
+
+// Coords returns all positions in deterministic row-major order.
+func (m *MCM) Coords() []nop.Coord {
+	out := make([]nop.Coord, 0, len(m.accels))
+	for c := range m.accels {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// Chiplets returns the chiplet count.
+func (m *MCM) Chiplets() int { return len(m.accels) }
+
+// TotalPEs sums PEs across all chiplets.
+func (m *MCM) TotalPEs() int64 {
+	var n int64
+	for _, a := range m.accels {
+		n += a.PEs
+	}
+	return n
+}
+
+// PeakMACs returns the aggregate MAC throughput (MACs/s).
+func (m *MCM) PeakMACs() float64 {
+	var v float64
+	for _, a := range m.accels {
+		v += a.PeakMACs()
+	}
+	return v
+}
+
+// Partitions splits the mesh into n contiguous column-band partitions
+// (n must divide the chiplet count). For the 6x6 package with n=4 this
+// yields the paper's four 9-chiplet quadrants (3x3 blocks, ordered
+// left-right then top-bottom).
+func (m *MCM) Partitions(n int) ([][]nop.Coord, error) {
+	total := m.Chiplets()
+	if n <= 0 || total%n != 0 {
+		return nil, fmt.Errorf("chiplet: cannot split %d chiplets into %d partitions", total, n)
+	}
+	per := total / n
+	// Quadrant-style split when the grid factors evenly into blocks.
+	if bw, bh, ok := blockDims(m.GridW, m.GridH, n, per); ok {
+		var parts [][]nop.Coord
+		for by := 0; by < m.GridH/bh; by++ {
+			for bx := 0; bx < m.GridW/bw; bx++ {
+				var part []nop.Coord
+				for y := by * bh; y < (by+1)*bh; y++ {
+					for x := bx * bw; x < (bx+1)*bw; x++ {
+						part = append(part, nop.Coord{X: x, Y: y})
+					}
+				}
+				parts = append(parts, part)
+			}
+		}
+		return parts, nil
+	}
+	// Fallback: row-major slices.
+	coords := m.Coords()
+	parts := make([][]nop.Coord, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, coords[i*per:(i+1)*per])
+	}
+	return parts, nil
+}
+
+// blockDims finds a bw x bh block shape tiling the grid into n blocks of
+// `per` chiplets, preferring square-ish blocks.
+func blockDims(gw, gh, n, per int) (bw, bh int, ok bool) {
+	best := -1
+	for cand := 1; cand <= gw; cand++ {
+		if per%cand != 0 {
+			continue
+		}
+		ch := per / cand
+		if ch > gh || gw%cand != 0 || gh%ch != 0 {
+			continue
+		}
+		if (gw/cand)*(gh/ch) != n {
+			continue
+		}
+		score := -absInt(cand - ch) // prefer square
+		if best == -1 || score > best {
+			best, bw, bh = score, cand, ch
+		}
+	}
+	return bw, bh, best != -1
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Presets ---------------------------------------------------------------
+
+// Simba36 is the paper's 6x6 package of 256-PE chiplets.
+func Simba36(style dataflow.Style) *MCM {
+	m, err := New("simba-6x6", 6, 6, nop.DefaultParams(),
+		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// DualSimba72 is the Fig 10 configuration: both FSD NPUs active, two
+// 6x6 Simba packages side by side (12x6 mesh, 72 chiplets).
+func DualSimba72(style dataflow.Style) *MCM {
+	m, err := New("dual-simba-12x6", 12, 6, nop.DefaultParams(),
+		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Baseline returns the Table II baselines for a 9,216-PE budget split
+// into `parts` equal monolithic accelerators (1, 2 or 4).
+func Baseline(parts int, style dataflow.Style) *MCM {
+	gw, gh := 1, 1
+	switch parts {
+	case 1:
+	case 2:
+		gw = 2
+	case 4:
+		gw, gh = 2, 2
+	default:
+		panic(fmt.Sprintf("chiplet: unsupported baseline split %d", parts))
+	}
+	pes := int64(9216 / parts)
+	m, err := New(fmt.Sprintf("baseline-%dx%d", parts, pes), gw, gh, nop.DefaultParams(),
+		func(c nop.Coord) *costmodel.Accel {
+			return costmodel.Monolithic(fmt.Sprintf("mono-%d-%v", pes, c), pes, style)
+		})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

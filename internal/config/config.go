@@ -1,0 +1,111 @@
+// Package config serializes experiment setups — workload parameters,
+// package selection, scheduler options — to and from JSON so that the
+// cmd/ tools can run reproducible configurations from files.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// Experiment is a complete serializable experiment description.
+type Experiment struct {
+	Name     string           `json:"name"`
+	Workload workloads.Config `json:"workload"`
+	// Package selects an MCM preset: "simba36", "dual72", "mono1",
+	// "mono2", "mono4".
+	Package string `json:"package"`
+	// Dataflow is "OS" or "WS".
+	Dataflow  string        `json:"dataflow"`
+	Scheduler sched.Options `json:"scheduler"`
+}
+
+// Default returns the paper's standard experiment.
+func Default() Experiment {
+	return Experiment{
+		Name:      "simba36-os",
+		Workload:  workloads.DefaultConfig(),
+		Package:   "simba36",
+		Dataflow:  "OS",
+		Scheduler: sched.DefaultOptions(),
+	}
+}
+
+// Style parses the dataflow selection.
+func (e Experiment) Style() (dataflow.Style, error) {
+	switch e.Dataflow {
+	case "OS", "os", "":
+		return dataflow.OS, nil
+	case "WS", "ws":
+		return dataflow.WS, nil
+	default:
+		return dataflow.OS, fmt.Errorf("config: unknown dataflow %q", e.Dataflow)
+	}
+}
+
+// MCM instantiates the selected package preset.
+func (e Experiment) MCM() (*chiplet.MCM, error) {
+	style, err := e.Style()
+	if err != nil {
+		return nil, err
+	}
+	switch e.Package {
+	case "simba36", "":
+		return chiplet.Simba36(style), nil
+	case "dual72":
+		return chiplet.DualSimba72(style), nil
+	case "mono1":
+		return chiplet.Baseline(1, style), nil
+	case "mono2":
+		return chiplet.Baseline(2, style), nil
+	case "mono4":
+		return chiplet.Baseline(4, style), nil
+	default:
+		return nil, fmt.Errorf("config: unknown package preset %q", e.Package)
+	}
+}
+
+// Validate checks the experiment.
+func (e Experiment) Validate() error {
+	if err := e.Workload.Validate(); err != nil {
+		return err
+	}
+	if _, err := e.Style(); err != nil {
+		return err
+	}
+	if _, err := e.MCM(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Save writes the experiment as indented JSON.
+func Save(path string, e Experiment) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads and validates an experiment file.
+func Load(path string) (Experiment, error) {
+	var e Experiment
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		return e, fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return e, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,102 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mcmnpu/internal/dataflow"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStyleParsing(t *testing.T) {
+	e := Default()
+	for _, c := range []struct {
+		in   string
+		want dataflow.Style
+	}{{"OS", dataflow.OS}, {"os", dataflow.OS}, {"", dataflow.OS},
+		{"WS", dataflow.WS}, {"ws", dataflow.WS}} {
+		e.Dataflow = c.in
+		got, err := e.Style()
+		if err != nil || got != c.want {
+			t.Errorf("Style(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	e.Dataflow = "bogus"
+	if _, err := e.Style(); err == nil {
+		t.Error("bogus dataflow should error")
+	}
+}
+
+func TestMCMPresets(t *testing.T) {
+	e := Default()
+	for _, c := range []struct {
+		pkg      string
+		chiplets int
+	}{{"simba36", 36}, {"dual72", 72}, {"mono1", 1}, {"mono2", 2}, {"mono4", 4}, {"", 36}} {
+		e.Package = c.pkg
+		m, err := e.MCM()
+		if err != nil {
+			t.Fatalf("%q: %v", c.pkg, err)
+		}
+		if m.Chiplets() != c.chiplets {
+			t.Errorf("%q: chiplets = %d, want %d", c.pkg, m.Chiplets(), c.chiplets)
+		}
+	}
+	e.Package = "nope"
+	if _, err := e.MCM(); err == nil {
+		t.Error("unknown package should error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	want := Default()
+	want.Name = "round-trip"
+	want.Workload.Cameras = 6
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round-trip" || got.Workload.Cameras != 6 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := Save(bad, Default()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file should error")
+	}
+	// Invalid content.
+	invalid := Default()
+	invalid.Workload.Cameras = 0
+	p2 := filepath.Join(t.TempDir(), "invalid.json")
+	if err := Save(p2, invalid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(p2); err == nil {
+		t.Error("invalid workload should fail validation on load")
+	}
+}
+
+func writeFile(path, content string) error {
+	return osWriteFile(path, []byte(content))
+}

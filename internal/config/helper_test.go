@@ -1,0 +1,8 @@
+package config
+
+import "os"
+
+// osWriteFile is an indirection point for tests.
+func osWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

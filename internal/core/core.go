@@ -1,0 +1,118 @@
+// Package core is the top-level facade tying the library together: a
+// System couples a perception workload, a multi-chiplet NPU package and
+// the throughput-matching scheduler, and produces schedules, metrics and
+// simulation results with one call each.
+//
+// Typical use:
+//
+//	sys := core.Default()
+//	s, _ := sys.Schedule()
+//	m, _ := sys.Evaluate(pipeline.Layerwise)
+//	fmt.Printf("%.1f FPS at %.2f J/frame\n", m.FPS, m.EnergyJ)
+package core
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/sim"
+	"mcmnpu/internal/trace"
+	"mcmnpu/internal/workloads"
+)
+
+// System couples workload, package and scheduler options.
+type System struct {
+	Workload workloads.Config
+	MCM      *chiplet.MCM
+	Options  sched.Options
+
+	pipeline *workloads.Pipeline
+	schedule *sched.Schedule
+}
+
+// Default returns the paper's standard system: the full perception
+// pipeline on the 6x6 Simba-like package, OS dataflow.
+func Default() *System {
+	return &System{
+		Workload: workloads.DefaultConfig(),
+		MCM:      chiplet.Simba36(dataflow.OS),
+		Options:  sched.DefaultOptions(),
+	}
+}
+
+// New builds a system with explicit parts.
+func New(cfg workloads.Config, m *chiplet.MCM, opts sched.Options) *System {
+	return &System{Workload: cfg, MCM: m, Options: opts}
+}
+
+// Pipeline returns (building on first use) the workload pipeline.
+func (s *System) Pipeline() (*workloads.Pipeline, error) {
+	if s.pipeline == nil {
+		p, err := workloads.Perception(s.Workload)
+		if err != nil {
+			return nil, err
+		}
+		s.pipeline = p
+	}
+	return s.pipeline, nil
+}
+
+// Schedule runs Algorithm 1 (cached after the first call).
+func (s *System) Schedule() (*sched.Schedule, error) {
+	if s.schedule != nil {
+		return s.schedule, nil
+	}
+	if s.MCM == nil {
+		return nil, fmt.Errorf("core: system has no MCM")
+	}
+	p, err := s.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sched.Build(p, s.MCM, s.Options)
+	if err != nil {
+		return nil, err
+	}
+	s.schedule = sc
+	return sc, nil
+}
+
+// Invalidate drops cached pipeline/schedule state after mutating the
+// workload or package.
+func (s *System) Invalidate() {
+	s.pipeline = nil
+	s.schedule = nil
+}
+
+// Evaluate returns the analytical metrics under the given pipelining
+// mode.
+func (s *System) Evaluate(mode pipeline.Mode) (pipeline.Metrics, error) {
+	sc, err := s.Schedule()
+	if err != nil {
+		return pipeline.Metrics{}, err
+	}
+	return pipeline.Compute(sc, mode), nil
+}
+
+// Simulate streams `frames` synthetic frame sets through the schedule in
+// the discrete-event simulator.
+func (s *System) Simulate(frames int, seed uint64) (sim.Result, error) {
+	sc, err := s.Schedule()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sc, frames, trace.NewGenerator(seed))
+}
+
+// MeetsCameraRate reports whether the schedule sustains the camera
+// frame rate (30 FPS => 33.3 ms pipelining budget).
+func (s *System) MeetsCameraRate(fpsTarget float64) (bool, pipeline.Metrics, error) {
+	m, err := s.Evaluate(pipeline.Layerwise)
+	if err != nil {
+		return false, m, err
+	}
+	return m.FPS >= fpsTarget, m, nil
+}

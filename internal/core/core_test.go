@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+func TestDefaultSystemEvaluate(t *testing.T) {
+	sys := Default()
+	m, err := sys.Evaluate(pipeline.Layerwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PipeLatMs <= 0 || m.EnergyJ <= 0 || m.FPS <= 0 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	// The paper's headline operating point: ~90 ms pipelining latency on
+	// the 36-chiplet package.
+	if m.PipeLatMs < 60 || m.PipeLatMs > 120 {
+		t.Errorf("pipe = %.1f ms, expected ~90", m.PipeLatMs)
+	}
+}
+
+func TestScheduleCached(t *testing.T) {
+	sys := Default()
+	s1, err := sys.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := sys.Schedule()
+	if s1 != s2 {
+		t.Error("schedule should be cached")
+	}
+	sys.Invalidate()
+	s3, _ := sys.Schedule()
+	if s3 == s1 {
+		t.Error("Invalidate should drop the cache")
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	sys := Default()
+	r, err := sys.Simulate(6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames != 6 || r.ThroughputFPS <= 0 {
+		t.Fatalf("sim result: %+v", r)
+	}
+}
+
+func TestMeetsCameraRate(t *testing.T) {
+	sys := Default()
+	ok, m, err := sys.MeetsCameraRate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("36-chiplet package should sustain 5 FPS (got %.1f)", m.FPS)
+	}
+	ok, _, err = sys.MeetsCameraRate(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("nothing sustains a million FPS")
+	}
+}
+
+func TestNewWithCustomParts(t *testing.T) {
+	cfg := workloads.DefaultConfig()
+	cfg.Cameras = 4
+	sys := New(cfg, chiplet.Baseline(2, dataflow.OS), sched.DefaultOptions())
+	m, err := sys.Evaluate(pipeline.Stagewise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PipeLatMs <= 0 {
+		t.Error("custom system should evaluate")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	cfg := workloads.DefaultConfig()
+	cfg.Cameras = 0
+	sys := New(cfg, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+	if _, err := sys.Evaluate(pipeline.Layerwise); err == nil {
+		t.Error("invalid workload should propagate")
+	}
+	sys2 := &System{Workload: workloads.DefaultConfig()}
+	if _, err := sys2.Schedule(); err == nil {
+		t.Error("missing MCM should error")
+	}
+}

@@ -1,0 +1,159 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/tensor"
+)
+
+func TestStyleString(t *testing.T) {
+	if OS.String() != "OS" || WS.String() != "WS" {
+		t.Errorf("style strings: %v %v", OS, WS)
+	}
+	if Style(9).String() == "" {
+		t.Error("unknown style should stringify")
+	}
+}
+
+func TestAnalyzeGEMMOS(t *testing.T) {
+	l := dnn.NewLinear("fc", 16000, 256, 768)
+	a := Analyze(l, OS, 16, 16)
+	wantWaves := int64(1000 * 48) // ceil(16000/16)*ceil(768/16)
+	if a.Waves != wantWaves {
+		t.Errorf("waves = %d, want %d", a.Waves, wantWaves)
+	}
+	if a.ComputeCycles != 256 {
+		t.Errorf("compute cycles = %v, want 256", a.ComputeCycles)
+	}
+	// GEMM wave reads 16 input rows and 16 weight cols of depth 256.
+	if a.InBytesPerWave != 16*256 || a.WtBytesPerWave != 16*256 {
+		t.Errorf("traffic = in %v wt %v", a.InBytesPerWave, a.WtBytesPerWave)
+	}
+	if a.OutBytesPerWave != 256 {
+		t.Errorf("out/wave = %v", a.OutBytesPerWave)
+	}
+	if a.PsumTotal != 0 {
+		t.Error("OS never spills psums")
+	}
+	if a.SpatialUtil != 1 {
+		t.Errorf("evenly divisible GEMM should have full spatial util, got %v", a.SpatialUtil)
+	}
+}
+
+func TestAnalyzeGEMMWS(t *testing.T) {
+	l := dnn.NewLinear("fc", 16000, 256, 768)
+	a := Analyze(l, WS, 16, 16)
+	if a.Waves != 48*16 {
+		t.Errorf("waves = %d, want %d", a.Waves, 48*16)
+	}
+	if a.ComputeCycles != 16000 {
+		t.Errorf("compute cycles = %v", a.ComputeCycles)
+	}
+	if a.PsumBytesPerWave <= 0 {
+		t.Error("multi-C-tile WS GEMM must spill psums")
+	}
+	// Weights fetched exactly once in total.
+	if got := a.WtBytesPerWave * float64(a.Waves); got != float64(l.Params()) {
+		t.Errorf("total weight traffic = %v, want %d (fetched once)", got, l.Params())
+	}
+}
+
+func TestWSSingleCTileNoPsum(t *testing.T) {
+	l := dnn.NewLinear("fc", 100, 16, 64)
+	a := Analyze(l, WS, 16, 16)
+	if a.PsumBytesPerWave != 0 {
+		t.Errorf("C fits one tile; psum spill should be 0, got %v", a.PsumBytesPerWave)
+	}
+}
+
+func TestAnalyzeConvHalo(t *testing.T) {
+	// Stride-2 conv needs a wider input halo per output tile.
+	s1 := dnn.NewConv2D(dnn.Conv2DSpec{Name: "s1", In: tensor.NCHW(1, 64, 64, 64),
+		OutC: 64, Kernel: 3, Stride: 1, Pad: 1})
+	s2 := dnn.NewConv2D(dnn.Conv2DSpec{Name: "s2", In: tensor.NCHW(1, 64, 64, 64),
+		OutC: 64, Kernel: 3, Stride: 2, Pad: 1})
+	a1 := Analyze(s1, OS, 16, 16)
+	a2 := Analyze(s2, OS, 16, 16)
+	if a2.InBytesPerWave <= a1.InBytesPerWave {
+		t.Errorf("stride-2 halo %v should exceed stride-1 halo %v",
+			a2.InBytesPerWave, a1.InBytesPerWave)
+	}
+}
+
+func TestAnalyzeNonCompute(t *testing.T) {
+	l := dnn.NewSoftmax("sm", 8, 100, 96)
+	a := Analyze(l, OS, 16, 16)
+	if a.Waves != 0 {
+		t.Error("non-compute layers have no MAC waves")
+	}
+	if a.DRAMBytes <= 0 {
+		t.Error("non-compute layers still have compulsory traffic")
+	}
+}
+
+func TestSpatialUtilEdgeWaste(t *testing.T) {
+	// 17 rows on a 16-row array: second wave nearly empty.
+	l := dnn.NewLinear("fc", 17, 256, 16)
+	a := Analyze(l, OS, 16, 16)
+	want := 17.0 / 32.0
+	if diff := a.SpatialUtil - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("spatial util = %v, want %v", a.SpatialUtil, want)
+	}
+}
+
+func TestAnalyzePanicsOnBadArray(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero array should panic")
+		}
+	}()
+	Analyze(dnn.NewLinear("x", 4, 4, 4), OS, 0, 16)
+}
+
+// Property: OS wave count times wave compute depth covers the MAC count
+// (offered slots >= useful MACs) for arbitrary GEMMs.
+func TestOSOfferedCoversMACsProperty(t *testing.T) {
+	f := func(m, k, n uint8) bool {
+		mm, kk, nn := int64(m)+1, int64(k)+1, int64(n)+1
+		l := dnn.NewLinear("p", mm*7, kk*3, nn*5)
+		a := Analyze(l, OS, 16, 16)
+		offered := float64(a.Waves) * a.ComputeCycles * 256
+		return offered >= float64(l.MACs()) && a.SpatialUtil > 0 && a.SpatialUtil <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WS total weight traffic equals params exactly (perfect
+// weight reuse) for any conv shape.
+func TestWSWeightOnceProperty(t *testing.T) {
+	f := func(c, k uint8) bool {
+		cc, kk := int64(c)%96+8, int64(k)%96+8
+		l := dnn.NewConv2D(dnn.Conv2DSpec{Name: "p", In: tensor.NCHW(1, cc, 24, 24),
+			OutC: kk, Kernel: 3, Stride: 1, Pad: 1})
+		a := Analyze(l, WS, 16, 16)
+		got := a.WtBytesPerWave * float64(a.Waves)
+		want := float64(l.Params())
+		return got >= want && got <= want*4.5 // edge tiles may round up
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a bigger array never increases OS wave count.
+func TestBiggerArrayFewerWavesProperty(t *testing.T) {
+	f := func(m uint16) bool {
+		rows := int64(m)%8000 + 32
+		l := dnn.NewLinear("p", rows, 128, 128)
+		small := Analyze(l, OS, 16, 16)
+		big := Analyze(l, OS, 32, 32)
+		return big.Waves <= small.Waves
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcmnpu/internal/tensor"
+)
+
+func smallGraph() (*Graph, []*Node) {
+	g := NewGraph("g")
+	a := g.Add(NewLinear("a", 10, 4, 4))
+	b := g.Add(NewLinear("b", 10, 4, 4), a)
+	c := g.Add(NewLinear("c", 10, 4, 4), a)
+	d := g.Add(NewLinear("d", 10, 8, 4), b, c)
+	return g, []*Node{a, b, c, d}
+}
+
+func TestGraphAddAndVerify(t *testing.T) {
+	g, ns := smallGraph()
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns[3].Deps) != 2 {
+		t.Error("join node should have 2 deps")
+	}
+}
+
+func TestGraphAddForeignDepPanics(t *testing.T) {
+	g1 := NewGraph("g1")
+	g2 := NewGraph("g2")
+	n := g1.Add(NewLinear("a", 10, 4, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("adding with foreign dep should panic")
+		}
+	}()
+	g2.Add(NewLinear("b", 10, 4, 4), n)
+}
+
+func TestTopoSort(t *testing.T) {
+	g, _ := smallGraph()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, n := range order {
+		pos[n.ID] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, d := range n.Deps {
+			if pos[d.ID] >= pos[n.ID] {
+				t.Errorf("dep %q after %q", d.Layer.Name, n.Layer.Name)
+			}
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g, ns := smallGraph()
+	// Forge a cycle by hand (public API cannot).
+	ns[0].Deps = append(ns[0].Deps, ns[3])
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle should be detected")
+	}
+	if err := g.Verify(); err == nil {
+		t.Error("Verify should reject back-edges")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g, _ := smallGraph()
+	s := g.Summarize()
+	if s.Layers != 4 {
+		t.Errorf("layers = %d", s.Layers)
+	}
+	want := int64(10*4*4)*3 + 10*8*4
+	if s.MACs != want {
+		t.Errorf("MACs = %d, want %d", s.MACs, want)
+	}
+	if s.Params != 3*16+32 {
+		t.Errorf("params = %d", s.Params)
+	}
+}
+
+func TestComputeNodes(t *testing.T) {
+	g := NewGraph("g")
+	a := g.Add(NewLinear("a", 10, 4, 4))
+	g.Add(NewEltwise("relu", tensor.Seq(10, 4), 1), a)
+	if got := len(g.ComputeNodes()); got != 1 {
+		t.Errorf("compute nodes = %d, want 1", got)
+	}
+}
+
+func TestTag(t *testing.T) {
+	g, _ := smallGraph()
+	g.Tag("FE")
+	for _, n := range g.Nodes() {
+		if n.Layer.Stage != "FE" {
+			t.Errorf("stage = %q", n.Layer.Stage)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	g, ns := smallGraph()
+	sub := NewGraph("sub")
+	r1 := sub.Add(NewLinear("r1", 5, 2, 2))
+	sub.Add(NewLinear("r2", 5, 2, 2), r1)
+	mapping := g.Append(sub, ns[3])
+	if g.Len() != 6 {
+		t.Fatalf("len after append = %d", g.Len())
+	}
+	newR1 := mapping[r1]
+	if len(newR1.Deps) != 1 || newR1.Deps[0] != ns[3] {
+		t.Error("root of appended graph should depend on join node")
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathMACs(t *testing.T) {
+	g, _ := smallGraph()
+	// Path a->b->d (or a->c->d): 160+160+320 = 640.
+	if got := g.CriticalPathMACs(); got != 640 {
+		t.Errorf("critical path = %d, want 640", got)
+	}
+}
+
+// Property: a linear chain's critical path equals the summary total.
+func TestCriticalPathChainProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		depth := int(n)%20 + 1
+		g := NewGraph("chain")
+		var prev *Node
+		for i := 0; i < depth; i++ {
+			l := NewLinear("l", 8, 8, 8)
+			if prev == nil {
+				prev = g.Add(l)
+			} else {
+				prev = g.Add(l, prev)
+			}
+		}
+		return g.CriticalPathMACs() == g.Summarize().MACs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopoSort output length always equals node count for DAGs
+// built through the public API.
+func TestTopoSortCompleteProperty(t *testing.T) {
+	f := func(widths [4]uint8) bool {
+		g := NewGraph("p")
+		var prevLevel []*Node
+		for _, w := range widths {
+			n := int(w)%3 + 1
+			var level []*Node
+			for i := 0; i < n; i++ {
+				level = append(level, g.Add(NewLinear("x", 4, 4, 4), prevLevel...))
+			}
+			prevLevel = level
+		}
+		order, err := g.TopoSort()
+		return err == nil && len(order) == g.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcmnpu/internal/tensor"
+)
+
+func TestConv2DDims(t *testing.T) {
+	l := NewConv2D(Conv2DSpec{
+		Name: "conv1", In: tensor.NCHW(1, 3, 720, 1280),
+		OutC: 64, Kernel: 7, Stride: 2, Pad: 3,
+	})
+	if !l.Out.Equal(tensor.NCHW(1, 64, 360, 640)) {
+		t.Fatalf("out shape = %v", l.Out)
+	}
+	wantMACs := int64(64 * 3 * 360 * 640 * 7 * 7)
+	if l.MACs() != wantMACs {
+		t.Errorf("MACs = %d, want %d", l.MACs(), wantMACs)
+	}
+	if l.Params() != 64*3*7*7 {
+		t.Errorf("Params = %d", l.Params())
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestConv2DGrouped(t *testing.T) {
+	l := NewConv2D(Conv2DSpec{
+		Name: "g", In: tensor.NCHW(1, 64, 56, 56),
+		OutC: 64, Kernel: 3, Stride: 1, Pad: 1, Groups: 64,
+	})
+	// Depthwise: MACs = C*H*W*k*k.
+	if l.MACs() != 64*56*56*9 {
+		t.Errorf("depthwise MACs = %d, want %d", l.MACs(), 64*56*56*9)
+	}
+	if l.Params() != 64*9 {
+		t.Errorf("depthwise params = %d", l.Params())
+	}
+}
+
+func TestDeconv2DConservesMACs(t *testing.T) {
+	in := tensor.NCHW(1, 128, 20, 80)
+	l := NewDeconv2D("up", in, 64, 4, 2, 1)
+	if !l.Out.Equal(tensor.NCHW(1, 64, 40, 160)) {
+		t.Fatalf("deconv out = %v", l.Out)
+	}
+	// True transposed-conv MACs = inH*inW*k*k*C*K.
+	want := int64(20 * 80 * 4 * 4 * 128 * 64)
+	if l.MACs() != want {
+		t.Errorf("deconv MACs = %d, want %d", l.MACs(), want)
+	}
+}
+
+func TestLinearDims(t *testing.T) {
+	l := NewLinear("fc", 16000, 256, 768)
+	if l.MACs() != 16000*256*768 {
+		t.Errorf("linear MACs = %d", l.MACs())
+	}
+	if l.Params() != 256*768 {
+		t.Errorf("linear params = %d", l.Params())
+	}
+	if l.Nest.Y != 16000 || l.Nest.K != 768 || l.Nest.C != 256 {
+		t.Errorf("nest = %+v", l.Nest)
+	}
+}
+
+func TestBatchedLinearSharesWeights(t *testing.T) {
+	l := NewBatchedLinear("qkv", 8, 16000, 256, 768)
+	if l.MACs() != 8*16000*256*768 {
+		t.Errorf("batched MACs = %d", l.MACs())
+	}
+	if l.Params() != 256*768 {
+		t.Errorf("weights should be shared once: %d", l.Params())
+	}
+	if l.ShardDim != "batch" {
+		t.Errorf("ShardDim = %q", l.ShardDim)
+	}
+}
+
+func TestMatMulNoWeights(t *testing.T) {
+	l := NewMatMul("qk", 8, 16000, 256, 160)
+	if l.Params() != 0 {
+		t.Error("matmul has no weights")
+	}
+	if l.MACs() != 8*16000*256*160 {
+		t.Errorf("matmul MACs = %d", l.MACs())
+	}
+}
+
+func TestNonComputeLayersZeroMACs(t *testing.T) {
+	sh := tensor.NCHW(1, 256, 20, 80)
+	for _, l := range []*Layer{
+		NewPool("p", sh, 2, 2),
+		NewEltwise("e", sh, 1),
+		NewSoftmax("s", 8, 16000, 160),
+		NewConcat("c", sh),
+		NewUpsample("u", sh, 2),
+	} {
+		if l.MACs() != 0 {
+			t.Errorf("%s: non-compute layer MACs = %d", l.Name, l.MACs())
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestShardBatch(t *testing.T) {
+	l := NewBatchedLinear("ffn", 12, 16000, 300, 1200)
+	s, err := l.Shard(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nest.Batch != 2 {
+		t.Errorf("shard batch = %d, want 2", s.Nest.Batch)
+	}
+	if s.MACs()*6 != l.MACs() {
+		t.Errorf("6 shards should cover layer exactly: %d*6 != %d", s.MACs(), l.MACs())
+	}
+	if s.Params() != l.Params() {
+		t.Error("weights must be replicated, not split")
+	}
+}
+
+func TestShardRows(t *testing.T) {
+	l := NewLinear("fc", 1000, 64, 64)
+	s, err := l.Shard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nest.Y != 334 {
+		t.Errorf("shard rows = %d, want 334", s.Nest.Y)
+	}
+	if s.MACs()*3 < l.MACs() {
+		t.Error("shards must cover the layer")
+	}
+}
+
+func TestShardOne(t *testing.T) {
+	l := NewLinear("fc", 10, 4, 4)
+	s, err := l.Shard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MACs() != l.MACs() || s.Name != l.Name {
+		t.Error("shard(1) should be an identical copy")
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	l := NewLinear("fc", 2, 4, 4)
+	if _, err := l.Shard(0); err == nil {
+		t.Error("shard(0) should error")
+	}
+	if _, err := l.Shard(5); err == nil {
+		t.Error("sharding finer than rows should error")
+	}
+}
+
+func TestShardBatchFallsBackToRows(t *testing.T) {
+	l := NewBatchedLinear("b", 2, 100, 8, 8)
+	s, err := l.Shard(4) // batch 2 < 4: splits flattened rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MACs()*4 < l.MACs() {
+		t.Error("fallback shards must cover layer")
+	}
+}
+
+func TestMaxShard(t *testing.T) {
+	if got := NewBatchedLinear("b", 12, 100, 8, 8).MaxShard(); got != 12 {
+		t.Errorf("batched MaxShard = %d, want 12", got)
+	}
+	if got := NewLinear("l", 100, 8, 8).MaxShard(); got != 100 {
+		t.Errorf("linear MaxShard = %d, want 100", got)
+	}
+}
+
+func TestLayerValidateErrors(t *testing.T) {
+	bad := &Layer{Name: "", In: tensor.Seq(1, 1), Out: tensor.Seq(1, 1)}
+	if bad.Validate() == nil {
+		t.Error("empty name should fail")
+	}
+	bad2 := &Layer{Name: "x", Kind: KindConv2D, In: tensor.Seq(1, 1), Out: tensor.Seq(1, 1)}
+	if bad2.Validate() == nil {
+		t.Error("invalid nest on compute layer should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindConv2D, KindDeconv2D, KindLinear, KindMatMul, KindDWConv,
+		KindPool, KindEltwise, KindSoftmax, KindConcat, KindUpsample}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad string %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: for any shardable layer and factor, n*shard.MACs() covers the
+// original and never exceeds it by more than one row/batch slice per shard.
+func TestShardCoverageProperty(t *testing.T) {
+	f := func(rows uint16, n uint8) bool {
+		r := int64(rows)%4000 + 64
+		k := int64(n)%16 + 1
+		l := NewLinear("p", r, 128, 128)
+		if k > r {
+			return true
+		}
+		s, err := l.Shard(k)
+		if err != nil {
+			return false
+		}
+		total := s.MACs() * k
+		perRow := int64(128 * 128)
+		return total >= l.MACs() && total <= l.MACs()+k*perRow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sharding never increases a shard's MACs beyond the original.
+func TestShardMonotonicProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int64(n)%12 + 1
+		l := NewBatchedLinear("q", 12, 16000, 256, 768)
+		s, err := l.Shard(k)
+		if err != nil {
+			return false
+		}
+		return s.MACs() <= l.MACs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

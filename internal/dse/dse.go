@@ -1,0 +1,273 @@
+// Package dse implements the paper's design-space exploration for the
+// trunks stage (§IV-C): an exhaustive search over heterogeneous chiplet
+// integration options for the 3x3 trunks quadrant. Candidate
+// configurations place `wsCount` weight-stationary (NVDLA-like) chiplets
+// among the output-stationary majority; the search enumerates which
+// prediction networks run on which dataflow and packs their layers onto
+// chiplets, scoring
+//
+//	Score(config) = -inf               if any chiplet exceeds Lcstr
+//	              = -EDP               otherwise
+//
+// exactly as the paper's scoring function. With the paper's settings the
+// winning configurations assign the detection-trunk convolution networks
+// to the WS chiplets — reproducing the paper's observation that DET_TR
+// achieves ~35% energy reduction on WS silicon.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+)
+
+// Net is a group of layers that must share a dataflow style (one
+// prediction network: the occupancy net, the lane trunk, or one
+// class/box network of a detector head).
+type Net struct {
+	Name   string
+	Model  string
+	Layers []*dnn.Layer
+}
+
+// NetsOf splits trunk graphs into style-assignable networks: detector
+// graphs split into their class and box networks; other trunks are one
+// net each.
+func NetsOf(trunks []*dnn.Graph) []Net {
+	var nets []Net
+	for _, g := range trunks {
+		if strings.HasPrefix(g.Name, "det_") {
+			groups := map[string][]*dnn.Layer{}
+			for _, n := range g.Nodes() {
+				key := "cls"
+				if strings.Contains(n.Layer.Name, ".box.") {
+					key = "box"
+				}
+				groups[key] = append(groups[key], n.Layer)
+			}
+			keys := make([]string, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				nets = append(nets, Net{Name: g.Name + "." + k, Model: g.Name, Layers: groups[k]})
+			}
+			continue
+		}
+		var ls []*dnn.Layer
+		for _, n := range g.Nodes() {
+			ls = append(ls, n.Layer)
+		}
+		nets = append(nets, Net{Name: g.Name, Model: g.Name, Layers: ls})
+	}
+	return nets
+}
+
+// Result is one explored configuration (a Table I row).
+type Result struct {
+	Name      string
+	WSCount   int
+	E2EMs     float64 // longest trunk-model chain
+	PipeLatMs float64 // busiest chiplet
+	EnergyJ   float64
+	EDP       float64 // EnergyJ * PipeLatMs
+	Feasible  bool
+	WSNets    []string // networks assigned to WS chiplets
+	Combos    int      // configurations enumerated
+}
+
+// Explore exhaustively searches the style assignment of nets for a pool
+// of `chiplets` accelerators of which wsCount are WS, under the latency
+// constraint lcstrMs (with the scheduler's 5% tolerance). It returns the
+// best-scoring configuration.
+func Explore(trunks []*dnn.Graph, chiplets, wsCount int, lcstrMs float64) Result {
+	nets := NetsOf(trunks)
+	osAccel := costmodel.SimbaChiplet(dataflow.OS)
+	wsAccel := costmodel.SimbaChiplet(dataflow.WS)
+
+	best := Result{Name: configName(wsCount), WSCount: wsCount, EDP: math.Inf(1)}
+	combos := 0
+
+	// Enumerate every subset of nets on WS (2^n; n <= ~10). Forced
+	// cases: wsCount == 0 pins everything OS; wsCount == chiplets pins
+	// everything WS.
+	n := len(nets)
+	for mask := 0; mask < 1<<n; mask++ {
+		if wsCount == 0 && mask != 0 {
+			break // only mask 0 valid
+		}
+		if wsCount == chiplets && mask != (1<<n)-1 {
+			continue // all nets must be on WS
+		}
+		combos++
+		r := evaluate(nets, mask, chiplets-wsCount, wsCount, osAccel, wsAccel, lcstrMs)
+		if r == nil {
+			continue
+		}
+		if betterResult(*r, best) {
+			best = *r
+			best.WSCount = wsCount
+			best.Name = configName(wsCount)
+		}
+	}
+	best.Combos = combos
+	return best
+}
+
+// betterResult prefers feasible configurations, then lower EDP.
+func betterResult(a, b Result) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.EDP < b.EDP
+}
+
+func configName(wsCount int) string {
+	switch wsCount {
+	case 0:
+		return "OS"
+	default:
+		return fmt.Sprintf("Het(%d)", wsCount)
+	}
+}
+
+// evaluate packs the layers of each net onto its style's chiplets (LPT)
+// and scores the configuration. Returns nil when a single layer alone
+// exceeds the latency constraint on its assigned style while a
+// feasible alternative could exist (infeasible packing).
+func evaluate(nets []Net, wsMask, osChips, wsChips int,
+	osAccel, wsAccel *costmodel.Accel, lcstrMs float64) *Result {
+
+	limit := lcstrMs * 1.05 // the scheduler's tolerance
+	type item struct {
+		ms    float64
+		ej    float64
+		model string
+	}
+	var osItems, wsItems []item
+	var energy float64
+	modelChain := map[string]float64{}
+	var wsNets []string
+
+	for i, net := range nets {
+		onWS := wsMask&(1<<i) != 0
+		accel := osAccel
+		if onWS {
+			accel = wsAccel
+			wsNets = append(wsNets, net.Name)
+		}
+		for _, l := range net.Layers {
+			c := costmodel.LayerOn(l, accel)
+			it := item{ms: c.LatencyMs, ej: c.EnergyJ, model: net.Model}
+			energy += c.EnergyJ
+			modelChain[net.Model] += c.LatencyMs
+			if onWS {
+				wsItems = append(wsItems, it)
+			} else {
+				osItems = append(osItems, it)
+			}
+		}
+	}
+
+	pack := func(items []item, chips int) (float64, bool) {
+		if len(items) == 0 {
+			return 0, true
+		}
+		if chips <= 0 {
+			return math.Inf(1), false
+		}
+		loads := make([]float64, chips)
+		sort.Slice(items, func(i, j int) bool { return items[i].ms > items[j].ms })
+		for _, it := range items {
+			k := 0
+			for j := 1; j < chips; j++ {
+				if loads[j] < loads[k] {
+					k = j
+				}
+			}
+			loads[k] += it.ms
+		}
+		max := 0.0
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		return max, true
+	}
+
+	osMax, osOK := pack(osItems, osChips)
+	wsMax, wsOK := pack(wsItems, wsChips)
+	if !osOK || !wsOK {
+		return nil
+	}
+	pipe := math.Max(osMax, wsMax)
+
+	var e2e float64
+	for _, ms := range modelChain {
+		if ms > e2e {
+			e2e = ms
+		}
+	}
+	r := &Result{
+		E2EMs:     e2e,
+		PipeLatMs: pipe,
+		EnergyJ:   energy,
+		EDP:       energy * pipe,
+		Feasible:  pipe <= limit,
+		WSNets:    wsNets,
+	}
+	return r
+}
+
+// WSOnly evaluates the all-WS reference row of Table I (it violates the
+// latency constraint; the paper reports it anyway as a bound).
+func WSOnly(trunks []*dnn.Graph, chiplets int, lcstrMs float64) Result {
+	r := Explore(trunks, chiplets, chiplets, lcstrMs)
+	r.Name = "WS"
+	return r
+}
+
+// TableIRow pairs a configuration result with its deltas vs the OS-only
+// reference.
+type TableIRow struct {
+	Result
+	DeltaE2EPct    float64
+	DeltaPipePct   float64
+	DeltaEnergyPct float64
+	DeltaEDPPct    float64
+}
+
+// TableI runs the paper's Table I: OS-only, WS-only, Het(2) and Het(4)
+// on the 9-chiplet trunks quadrant with Lcstr = 85 ms.
+func TableI(trunks []*dnn.Graph, lcstrMs float64) []TableIRow {
+	osr := Explore(trunks, 9, 0, lcstrMs)
+	rows := []TableIRow{{Result: osr}}
+	for _, r := range []Result{
+		WSOnly(trunks, 9, lcstrMs),
+		Explore(trunks, 9, 2, lcstrMs),
+		Explore(trunks, 9, 4, lcstrMs),
+	} {
+		rows = append(rows, TableIRow{
+			Result:         r,
+			DeltaE2EPct:    pct(r.E2EMs, osr.E2EMs),
+			DeltaPipePct:   pct(r.PipeLatMs, osr.PipeLatMs),
+			DeltaEnergyPct: pct(r.EnergyJ, osr.EnergyJ),
+			DeltaEDPPct:    pct(r.EDP, osr.EDP),
+		})
+	}
+	return rows
+}
+
+func pct(v, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return (v - ref) / ref * 100
+}

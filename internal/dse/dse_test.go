@@ -1,0 +1,118 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"mcmnpu/internal/workloads"
+)
+
+func trunkCfg() workloads.Config {
+	cfg := workloads.DefaultConfig()
+	cfg.LaneContext = 0.6
+	return cfg
+}
+
+func TestNetsOf(t *testing.T) {
+	nets := NetsOf(workloads.Trunks(trunkCfg()))
+	// occupancy + lane + 3 detectors x (cls + box) = 8 nets.
+	if len(nets) != 8 {
+		t.Fatalf("nets = %d, want 8", len(nets))
+	}
+	var det int
+	for _, n := range nets {
+		if strings.HasPrefix(n.Name, "det_") {
+			det++
+			if !strings.HasSuffix(n.Name, ".cls") && !strings.HasSuffix(n.Name, ".box") {
+				t.Errorf("detector net %q should split into cls/box", n.Name)
+			}
+		}
+		if len(n.Layers) == 0 {
+			t.Errorf("net %q has no layers", n.Name)
+		}
+	}
+	if det != 6 {
+		t.Errorf("detector nets = %d, want 6", det)
+	}
+}
+
+func TestOSOnlyFeasible(t *testing.T) {
+	r := Explore(workloads.Trunks(trunkCfg()), 9, 0, 85)
+	if !r.Feasible {
+		t.Fatalf("OS-only trunks must satisfy Lcstr: %+v", r)
+	}
+	if r.Name != "OS" || len(r.WSNets) != 0 {
+		t.Errorf("OS config: %+v", r)
+	}
+	if r.Combos != 1 {
+		t.Errorf("OS-only should evaluate exactly one combo, got %d", r.Combos)
+	}
+}
+
+func TestWSOnlyInfeasible(t *testing.T) {
+	r := WSOnly(workloads.Trunks(trunkCfg()), 9, 85)
+	if r.Feasible {
+		t.Error("all-WS trunks violate the latency constraint (paper: 605.7 ms E2E)")
+	}
+	if r.E2EMs < 300 {
+		t.Errorf("WS E2E = %.1f ms, paper ~605.7", r.E2EMs)
+	}
+}
+
+func TestHetAssignsDetectorsToWS(t *testing.T) {
+	// The paper's key §IV-C observation: WS chiplets are predominantly
+	// assigned to the DET_TR layers.
+	for _, ws := range []int{2, 4} {
+		r := Explore(workloads.Trunks(trunkCfg()), 9, ws, 85)
+		if !r.Feasible {
+			t.Fatalf("Het(%d) infeasible", ws)
+		}
+		for _, n := range r.WSNets {
+			if !strings.HasPrefix(n, "det_") {
+				t.Errorf("Het(%d) moved non-detector net %q to WS", ws, n)
+			}
+		}
+		if len(r.WSNets) == 0 {
+			t.Errorf("Het(%d) left WS chiplets unused", ws)
+		}
+	}
+}
+
+func TestHetImprovesEnergyAndEDP(t *testing.T) {
+	rows := TableI(workloads.Trunks(trunkCfg()), 85)
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d", len(rows))
+	}
+	osRow := rows[0]
+	for _, r := range rows[2:] { // Het(2), Het(4)
+		if r.EnergyJ >= osRow.EnergyJ {
+			t.Errorf("%s energy %.4f not below OS %.4f (paper: -1.1%% / -6.2%%)",
+				r.Name, r.EnergyJ, osRow.EnergyJ)
+		}
+		if r.EDP >= osRow.EDP {
+			t.Errorf("%s EDP %.2f not below OS %.2f (paper: -17.4%% / -12.0%%)",
+				r.Name, r.EDP, osRow.EDP)
+		}
+		if r.DeltaEnergyPct >= 0 || r.DeltaEDPPct >= 0 {
+			t.Errorf("%s deltas should be negative: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestExhaustiveSearchSize(t *testing.T) {
+	r := Explore(workloads.Trunks(trunkCfg()), 9, 2, 85)
+	if r.Combos != 1<<8 {
+		t.Errorf("combos = %d, want 2^8 (exhaustive over 8 nets)", r.Combos)
+	}
+}
+
+func TestTighterConstraintReducesFeasibility(t *testing.T) {
+	loose := Explore(workloads.Trunks(trunkCfg()), 9, 2, 85)
+	tight := Explore(workloads.Trunks(trunkCfg()), 9, 2, 5)
+	if !loose.Feasible {
+		t.Fatal("85 ms should be feasible")
+	}
+	if tight.Feasible {
+		t.Error("5 ms cannot be feasible for the trunks")
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// Ablations beyond the paper's tables: they justify the design choices
+// the paper makes implicitly (OS-only MCM focus, NoP parameters far from
+// the bottleneck, scheduler tolerance).
+
+// DataflowAblationRow compares package-wide dataflow choices.
+type DataflowAblationRow struct {
+	Dataflow  string
+	PipeLatMs float64
+	EnergyJ   float64
+	EDP       float64
+	UtilPct   float64
+}
+
+// DataflowAblation schedules the full pipeline on an all-OS and an
+// all-WS 6x6 package — the quantitative backing for the paper's choice
+// to "focus the analysis on the multi-chiplet NPU with OS only
+// dataflow".
+func DataflowAblation(cfg workloads.Config) ([]DataflowAblationRow, error) {
+	var rows []DataflowAblationRow
+	for _, style := range []dataflow.Style{dataflow.OS, dataflow.WS} {
+		p, err := workloads.Perception(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.Build(p, chiplet.Simba36(style), sched.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		m := pipeline.Compute(s, pipeline.Layerwise)
+		rows = append(rows, DataflowAblationRow{
+			Dataflow:  style.String(),
+			PipeLatMs: m.PipeLatMs,
+			EnergyJ:   m.EnergyJ,
+			EDP:       m.EDP,
+			UtilPct:   m.UtilPct,
+		})
+	}
+	return rows, nil
+}
+
+// DataflowAblationTable renders the dataflow ablation.
+func DataflowAblationTable(rows []DataflowAblationRow) *report.Table {
+	t := report.NewTable("Ablation — package-wide dataflow choice (6x6 MCM, full pipeline)",
+		"Dataflow", "Pipe Lat(ms)", "Energy(J)", "EDP(ms*J)", "Utilization(%)")
+	for _, r := range rows {
+		t.AddRow(r.Dataflow, r.PipeLatMs, r.EnergyJ, r.EDP, r.UtilPct)
+	}
+	return t
+}
+
+// NoPSensitivityRow is one NoP parameter point.
+type NoPSensitivityRow struct {
+	Label      string
+	LinkBWGBs  float64
+	HopLatNs   float64
+	E2EMs      float64
+	NoPLatMs   float64
+	NoPShare   float64 // NoP latency / E2E
+	NoPEnergyJ float64
+}
+
+// NoPSensitivity sweeps the NoP link bandwidth and hop latency around
+// the paper's operating point (100 GB/s, 35 ns) and shows the Fig 9
+// conclusion is robust: even a 4x-degraded interconnect keeps NoP far
+// from the computational critical path.
+func NoPSensitivity(cfg workloads.Config) ([]NoPSensitivityRow, error) {
+	points := []struct {
+		label string
+		bw    float64
+		hop   float64
+	}{
+		{"4x slower links", 25, 140},
+		{"2x slower links", 50, 70},
+		{"paper (100GB/s, 35ns)", 100, 35},
+		{"2x faster links", 200, 17.5},
+	}
+	var rows []NoPSensitivityRow
+	for _, pt := range points {
+		p, err := workloads.Perception(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := chiplet.Simba36(dataflow.OS)
+		m.NoP.LinkBWGBs = pt.bw
+		m.NoP.HopLatencyNs = pt.hop
+		s, err := sched.Build(p, m, sched.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		mt := pipeline.Compute(s, pipeline.Layerwise)
+		rows = append(rows, NoPSensitivityRow{
+			Label:      pt.label,
+			LinkBWGBs:  pt.bw,
+			HopLatNs:   pt.hop,
+			E2EMs:      mt.E2EMs,
+			NoPLatMs:   mt.NoPLatMs,
+			NoPShare:   mt.NoPLatMs / mt.E2EMs,
+			NoPEnergyJ: mt.NoPEnergyJ,
+		})
+	}
+	return rows, nil
+}
+
+// NoPSensitivityTable renders the NoP sweep.
+func NoPSensitivityTable(rows []NoPSensitivityRow) *report.Table {
+	t := report.NewTable("Ablation — NoP parameter sensitivity (6x6 MCM)",
+		"Point", "BW(GB/s)", "Hop(ns)", "E2E(ms)", "NoP Lat(ms)", "NoP share(%)", "NoP Energy(J)")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.LinkBWGBs, r.HopLatNs, r.E2EMs, r.NoPLatMs,
+			r.NoPShare*100, r.NoPEnergyJ)
+	}
+	return t
+}
+
+// ToleranceSweepRow is one scheduler-tolerance point.
+type ToleranceSweepRow struct {
+	Tolerance float64
+	PipeLatMs float64
+	Steps     int
+	E2EMs     float64
+}
+
+// ToleranceSweep varies Algorithm 1's tolerance coefficient: tighter
+// tolerances buy a slightly flatter pipeline at the cost of more greedy
+// steps (sharding) and NoP traffic.
+func ToleranceSweep(cfg workloads.Config) ([]ToleranceSweepRow, error) {
+	var rows []ToleranceSweepRow
+	for _, tol := range []float64{0.01, 0.05, 0.10, 0.25} {
+		p, err := workloads.Perception(cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts := sched.DefaultOptions()
+		opts.Tolerance = tol
+		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), opts)
+		if err != nil {
+			return nil, err
+		}
+		m := pipeline.Compute(s, pipeline.Layerwise)
+		rows = append(rows, ToleranceSweepRow{
+			Tolerance: tol,
+			PipeLatMs: m.PipeLatMs,
+			Steps:     len(s.Steps),
+			E2EMs:     m.E2EMs,
+		})
+	}
+	return rows, nil
+}
+
+// ToleranceSweepTable renders the tolerance sweep.
+func ToleranceSweepTable(rows []ToleranceSweepRow) *report.Table {
+	t := report.NewTable("Ablation — scheduler tolerance coefficient",
+		"Tolerance", "Pipe Lat(ms)", "Greedy steps", "E2E(ms)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", r.Tolerance*100), r.PipeLatMs, r.Steps, r.E2EMs)
+	}
+	return t
+}
+
+// TemporalDepthRow is one temporal-queue-depth point.
+type TemporalDepthRow struct {
+	Frames    int64
+	PipeLatMs float64
+	TFusePipe float64
+	EnergyJ   float64
+}
+
+// TemporalDepthSweep varies the temporal fusion queue depth N (paper
+// uses 12): the throughput matcher absorbs deeper queues by sharding
+// until the quadrant saturates.
+func TemporalDepthSweep(cfg workloads.Config) ([]TemporalDepthRow, error) {
+	var rows []TemporalDepthRow
+	for _, n := range []int64{4, 8, 12, 16} {
+		c := cfg
+		c.TemporalFrames = n
+		p, err := workloads.Perception(c)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		m := pipeline.Compute(s, pipeline.Layerwise)
+		rows = append(rows, TemporalDepthRow{
+			Frames:    n,
+			PipeLatMs: m.PipeLatMs,
+			TFusePipe: s.Stages[workloads.StageTFuse].PipeLatMs,
+			EnergyJ:   m.EnergyJ,
+		})
+	}
+	return rows, nil
+}
+
+// TemporalDepthTable renders the queue-depth sweep.
+func TemporalDepthTable(rows []TemporalDepthRow) *report.Table {
+	t := report.NewTable("Ablation — temporal fusion queue depth",
+		"Frames N", "Pipe Lat(ms)", "T_FUSE pipe(ms)", "Energy(J)")
+	for _, r := range rows {
+		t.AddRow(r.Frames, r.PipeLatMs, r.TFusePipe, r.EnergyJ)
+	}
+	return t
+}

@@ -1,0 +1,289 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness returns structured results plus a
+// rendered report.Table, and is shared by the cmd/ tools and the root
+// benchmark suite. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// ComponentCost is one bar of Fig 3.
+type ComponentCost struct {
+	Component string
+	OSLatMs   float64
+	WSLatMs   float64
+	OSEnergyJ float64
+	WSEnergyJ float64
+}
+
+// Fig3Result is the coarse-grained per-component breakdown.
+type Fig3Result struct {
+	Components []ComponentCost
+	// Aggregates backing the paper's §III-A claims.
+	OSSpeedup          float64 // WS latency / OS latency, all components
+	WSEnergyGain       float64 // OS energy / WS energy, all components
+	WSEnergyGainNoFuse float64 // same, excluding S_FUSE and T_FUSE
+	SFuseShare         float64 // S_FUSE share of total OS latency (8-cam FE)
+	TFuseShare         float64
+}
+
+// Fig3 profiles every perception component on a single 256-PE chiplet
+// under both dataflows (the paper's Fig 3).
+func Fig3(cfg workloads.Config) Fig3Result {
+	osA := costmodel.SimbaChiplet(dataflow.OS)
+	wsA := costmodel.SimbaChiplet(dataflow.WS)
+	comps := []struct {
+		name string
+		g    *dnn.Graph
+	}{
+		{"FE+BFPN", workloads.FEBFPN(cfg)},
+		{"S_FUSE", workloads.SpatialFusion(cfg)},
+		{"T_FUSE", workloads.TemporalFusion(cfg)},
+		{"OCUP_TR", workloads.OccupancyTrunk(cfg)},
+		{"LANE_TR", workloads.LaneTrunk(cfg)},
+		{"DET_TR", workloads.DetectionTrunk(cfg, "vehicle")},
+	}
+	var r Fig3Result
+	var osTot, wsTot, osE, wsE, osENoFuse, wsENoFuse float64
+	for _, c := range comps {
+		co := costmodel.GraphOn(c.g, osA)
+		cw := costmodel.GraphOn(c.g, wsA)
+		r.Components = append(r.Components, ComponentCost{
+			Component: c.name,
+			OSLatMs:   co.LatencyMs, WSLatMs: cw.LatencyMs,
+			OSEnergyJ: co.EnergyJ, WSEnergyJ: cw.EnergyJ,
+		})
+		osTot += co.LatencyMs
+		wsTot += cw.LatencyMs
+		osE += co.EnergyJ
+		wsE += cw.EnergyJ
+		if c.name != "S_FUSE" && c.name != "T_FUSE" {
+			osENoFuse += co.EnergyJ
+			wsENoFuse += cw.EnergyJ
+		}
+	}
+	r.OSSpeedup = wsTot / osTot
+	r.WSEnergyGain = osE / wsE
+	r.WSEnergyGainNoFuse = osENoFuse / wsENoFuse
+	// Latency shares over the first three stages with FE scaled by the
+	// camera count (the paper's Fig 3 note).
+	fe := r.Components[0].OSLatMs * float64(cfg.Cameras)
+	sf := r.Components[1].OSLatMs
+	tf := r.Components[2].OSLatMs
+	r.SFuseShare = sf / (fe + sf + tf)
+	r.TFuseShare = tf / (fe + sf + tf)
+	return r
+}
+
+// Table renders Fig 3 as a table.
+func (r Fig3Result) Table() *report.Table {
+	t := report.NewTable("Fig 3 — per-component latency/energy, single 256-PE chiplet",
+		"Component", "OS Lat(ms)", "WS Lat(ms)", "OS Energy(J)", "WS Energy(J)")
+	for _, c := range r.Components {
+		t.AddRow(c.Component, c.OSLatMs, c.WSLatMs, c.OSEnergyJ, c.WSEnergyJ)
+	}
+	return t
+}
+
+// LayerAffinity is one Fig 4 entry: Delta = OS - WS, negative values
+// imply OS affinity.
+type LayerAffinity struct {
+	Group      string
+	Layer      string
+	DeltaLatMs float64
+	DeltaEJ    float64
+}
+
+// Fig4 computes per-layer OS/WS affinities for the feature extractors,
+// the spatio-temporal attention fusion, and the trunks.
+func Fig4(cfg workloads.Config) []LayerAffinity {
+	osA := costmodel.SimbaChiplet(dataflow.OS)
+	wsA := costmodel.SimbaChiplet(dataflow.WS)
+	groups := []struct {
+		name string
+		gs   []*dnn.Graph
+	}{
+		{"FE+BFPN", []*dnn.Graph{workloads.FEBFPN(cfg)}},
+		{"S+T Attn Fusion", []*dnn.Graph{workloads.SpatialFusion(cfg), workloads.TemporalFusion(cfg)}},
+		{"Trunks", workloads.Trunks(cfg)},
+	}
+	var out []LayerAffinity
+	for _, grp := range groups {
+		for _, g := range grp.gs {
+			for _, n := range g.Nodes() {
+				if !n.Layer.Kind.ComputeBound() {
+					continue
+				}
+				co := costmodel.LayerOn(n.Layer, osA)
+				cw := costmodel.LayerOn(n.Layer, wsA)
+				out = append(out, LayerAffinity{
+					Group:      grp.name,
+					Layer:      n.Layer.Name,
+					DeltaLatMs: co.LatencyMs - cw.LatencyMs,
+					DeltaEJ:    co.EnergyJ - cw.EnergyJ,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig4Table renders the affinities.
+func Fig4Table(rows []LayerAffinity) *report.Table {
+	t := report.NewTable("Fig 4 — per-layer affinity Delta = OS - WS (negative => OS affine)",
+		"Group", "Layer", "dLat(ms)", "dEnergy(J)")
+	for _, r := range rows {
+		t.AddRow(r.Group, r.Layer, r.DeltaLatMs, r.DeltaEJ)
+	}
+	return t
+}
+
+// StageMapping is the Fig 5-8 summary for one pipeline stage scheduled
+// on its quadrant.
+type StageMapping struct {
+	Stage     string
+	E2EMs     float64
+	PipeLatMs float64
+	EnergyJ   float64
+	EDP       float64
+	Chiplets  int
+	Shards    map[string]int64 // layer/unit -> shard factor (>1 only)
+}
+
+// Fig5to8 schedules the full pipeline on the 6x6 package and reports the
+// per-stage mappings of Figures 5-8.
+func Fig5to8(cfg workloads.Config) ([]StageMapping, *sched.Schedule, error) {
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := chiplet.Simba36(dataflow.OS)
+	s, err := sched.Build(p, m, sched.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []StageMapping
+	for i := range p.Stages {
+		ss := s.Stages[i]
+		sm := StageMapping{
+			Stage:     ss.Name,
+			E2EMs:     ss.E2EMs,
+			PipeLatMs: ss.PipeLatMs,
+			EnergyJ:   ss.EnergyJ,
+			EDP:       ss.EnergyJ * ss.PipeLatMs,
+			Chiplets:  len(ss.Pool),
+			Shards:    map[string]int64{},
+		}
+		for _, u := range ss.Units {
+			if u.Shards > 1 {
+				sm.Shards[u.Label()] = u.Shards
+			}
+		}
+		out = append(out, sm)
+	}
+	return out, s, nil
+}
+
+// Fig5to8Table renders the per-stage mapping summaries.
+func Fig5to8Table(rows []StageMapping) *report.Table {
+	t := report.NewTable("Figs 5-8 — stage mappings on the 6x6 MCM (OS dataflow)",
+		"Stage", "Chiplets", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "EDP(J*ms)")
+	for _, r := range rows {
+		t.AddRow(r.Stage, r.Chiplets, r.E2EMs, r.PipeLatMs, r.EnergyJ, r.EDP)
+	}
+	return t
+}
+
+// NoPCost aggregates Fig 9: NoP data-movement latency and energy per
+// layer group across the first three stages.
+type NoPCost struct {
+	Label     string
+	LatencyMs float64
+	EnergyMJ  float64
+	Bytes     int64
+}
+
+// Fig9 extracts the NoP costs from a built schedule.
+func Fig9(s *sched.Schedule) []NoPCost {
+	agg := map[string]*NoPCost{}
+	add := func(label string, bytes int64, latMs, ej float64) {
+		key := groupLabel(label)
+		c, ok := agg[key]
+		if !ok {
+			c = &NoPCost{Label: key}
+			agg[key] = c
+		}
+		c.Bytes += bytes
+		c.LatencyMs += latMs
+		c.EnergyMJ += ej * 1e3
+	}
+	nStages := len(s.Pipeline.Stages)
+	if nStages > 3 {
+		nStages = 3
+	}
+	for i := 0; i < nStages; i++ {
+		for _, tr := range s.Stages[i].Transfers {
+			c := s.MCM.NoP.Eval(tr)
+			add(tr.Label, tr.Bytes, c.LatencyMs, c.EnergyJ)
+		}
+	}
+	for _, tr := range s.InterStage {
+		c := s.MCM.NoP.Eval(tr)
+		add(tr.Label, tr.Bytes, c.LatencyMs, c.EnergyJ)
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]NoPCost, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *agg[k])
+	}
+	return out
+}
+
+// groupLabel maps a producing layer name onto the paper's Fig 9 x-axis
+// groups.
+func groupLabel(layer string) string {
+	switch {
+	case strings.HasPrefix(layer, "S_QKV"):
+		return "S_QKV_Proj"
+	case strings.HasPrefix(layer, "S_ATTN"):
+		return "S_ATTN"
+	case strings.HasPrefix(layer, "S_FFN"), strings.HasPrefix(layer, "S_merge"):
+		return "S_FFN"
+	case strings.HasPrefix(layer, "T_QKV"):
+		return "T_QKV_Proj"
+	case strings.HasPrefix(layer, "T_ATTN"):
+		return "T_ATTN"
+	case strings.HasPrefix(layer, "T_FFN"), strings.HasPrefix(layer, "T_merge"),
+		strings.HasPrefix(layer, "T_pool"), strings.HasPrefix(layer, "T_entry"),
+		strings.HasPrefix(layer, "T_telemetry"):
+		return "T_FFN"
+	case strings.HasPrefix(layer, "S_gather"):
+		return "S_gather"
+	default:
+		return "FE+BFPN"
+	}
+}
+
+// Fig9Table renders the NoP costs.
+func Fig9Table(rows []NoPCost) *report.Table {
+	t := report.NewTable("Fig 9 — NoP data movement costs, first 3 stages",
+		"Layer", "NoP Lat(ms)", "NoP Energy(mJ)", "Bytes")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.LatencyMs, r.EnergyMJ, r.Bytes)
+	}
+	return t
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dse"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// TableIResult wraps the trunks heterogeneous-integration study.
+type TableIResult struct {
+	Rows  []dse.TableIRow
+	Lcstr float64
+}
+
+// TableI runs the paper's Table I on the 9-chiplet trunks quadrant with
+// Lcstr = 85 ms and the lane trunk at 60% context (the operating point
+// Fig 11 selects).
+func TableI(cfg workloads.Config) TableIResult {
+	cfg.LaneContext = 0.6
+	return TableIResult{Rows: dse.TableI(workloads.Trunks(cfg), 85), Lcstr: 85}
+}
+
+// Table renders Table I.
+func (r TableIResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table I — heterogeneous trunks integration (Lcstr = %.0f ms)", r.Lcstr),
+		"Config", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "EDP(ms*J)",
+		"dE2E%", "dPipe%", "dEnergy%", "dEDP%", "Feasible")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.E2EMs, row.PipeLatMs, row.EnergyJ, row.EDP,
+			row.DeltaE2EPct, row.DeltaPipePct, row.DeltaEnergyPct, row.DeltaEDPPct,
+			fmt.Sprintf("%v", row.Feasible))
+	}
+	return t
+}
+
+// Table2Row is one arrangement/pipelining-mode row of Table II.
+type Table2Row struct {
+	Arrangement string
+	Chiplets    int
+	Mode        pipeline.Mode
+	Metrics     pipeline.Metrics
+}
+
+// Table2 evaluates the paper's chiplet arrangements (1x9216, 2x4608,
+// 4x2304, 36x256 — same 9,216-PE budget) on the first three pipeline
+// stages under stagewise and layerwise pipelining.
+func Table2(cfg workloads.Config) ([]Table2Row, error) {
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p3 := p.FirstThreeStages()
+	arrangements := []struct {
+		name string
+		mcm  *chiplet.MCM
+	}{
+		{"1x9216", chiplet.Baseline(1, dataflow.OS)},
+		{"2x4608", chiplet.Baseline(2, dataflow.OS)},
+		{"4x2304", chiplet.Baseline(4, dataflow.OS)},
+		{"36x256", chiplet.Simba36(dataflow.OS)},
+	}
+	var rows []Table2Row
+	for _, a := range arrangements {
+		s, err := sched.Build(p3, a.mcm, sched.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", a.name, err)
+		}
+		for _, mode := range []pipeline.Mode{pipeline.Stagewise, pipeline.Layerwise} {
+			rows = append(rows, Table2Row{
+				Arrangement: a.name,
+				Chiplets:    a.mcm.Chiplets(),
+				Mode:        mode,
+				Metrics:     pipeline.Compute(s, mode),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table2Table renders Table II.
+func Table2Table(rows []Table2Row) *report.Table {
+	t := report.NewTable("Table II — chiplet arrangements at equal PE budget (9,216 PEs)",
+		"Pipeline", "Arrangement", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)",
+		"EDP(ms*J)", "Utilization(%)")
+	for _, r := range rows {
+		t.AddRow(r.Mode.String(), r.Arrangement, r.Metrics.E2EMs, r.Metrics.PipeLatMs,
+			r.Metrics.EnergyJ, r.Metrics.EDP, r.Metrics.UtilPct)
+	}
+	return t
+}
+
+// Fig10Result is the dual-NPU scaling study.
+type Fig10Result struct {
+	SinglePipeMs float64
+	DualPipeMs   float64
+	Steps        []sched.Step
+}
+
+// Fig10 runs Algorithm 1 on the 72-chiplet dual-NPU package (trunks
+// doubled per the paper) and reports the greedy progression.
+func Fig10(cfg workloads.Config) (Fig10Result, error) {
+	var r Fig10Result
+	single, err := workloads.Perception(cfg)
+	if err != nil {
+		return r, err
+	}
+	s1, err := sched.Build(single, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+	if err != nil {
+		return r, err
+	}
+	r.SinglePipeMs = s1.PipeLatMs()
+
+	dualCfg := cfg
+	dualCfg.DetectionHeads = cfg.DetectionHeads // trunks doubled via replicas below
+	dual, err := workloads.Perception(dualCfg)
+	if err != nil {
+		return r, err
+	}
+	// The paper doubles the trunks (2 x 9 chiplets) when both NPUs are
+	// active.
+	dual.Stages[workloads.StageTrunks].Replicas = 2
+	s2, err := sched.Build(dual, chiplet.DualSimba72(dataflow.OS), sched.DefaultOptions())
+	if err != nil {
+		return r, err
+	}
+	r.DualPipeMs = s2.PipeLatMs()
+	r.Steps = s2.Steps
+	return r, nil
+}
+
+// Table renders the Fig 10 progression.
+func (r Fig10Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 10 — Algorithm 1 on 2 NPUs (72 chiplets); single-NPU pipe %.1f ms",
+			r.SinglePipeMs),
+		"Step", "Action", "Stage", "Pipe Lat(ms)", "Chiplets free")
+	for i, s := range r.Steps {
+		t.AddRow(i, s.Action, s.Stage, s.PipeLatMs, s.ChipletsFree)
+	}
+	return t
+}
+
+// Table3Row is one occupancy-upsampling ablation row.
+type Table3Row struct {
+	Factor    int64
+	E2EMs     float64
+	PipeLatMs float64 // dominant (pipeline-limiting) layer latency
+	SpeedupE  float64 // E2E vs the 2x row
+}
+
+// Table3 sweeps the occupancy trunk's upsampling factor (paper Table III).
+func Table3(cfg workloads.Config) []Table3Row {
+	osA := costmodel.SimbaChiplet(dataflow.OS)
+	var rows []Table3Row
+	var base float64
+	for _, f := range []int64{2, 4, 8, 16} {
+		c := cfg
+		c.OccupancyUpsample = f
+		gc := costmodel.GraphOn(workloads.OccupancyTrunk(c), osA)
+		var worst float64
+		for _, lc := range gc.PerLayer {
+			if lc.LatencyMs > worst {
+				worst = lc.LatencyMs
+			}
+		}
+		row := Table3Row{Factor: f, E2EMs: gc.LatencyMs, PipeLatMs: worst}
+		if base == 0 {
+			base = gc.LatencyMs
+			row.SpeedupE = 1
+		} else {
+			row.SpeedupE = gc.LatencyMs / base
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3Table renders Table III.
+func Table3Table(rows []Table3Row) *report.Table {
+	t := report.NewTable("Table III — occupancy trunk input-scaling ablation (single chiplet, OS)",
+		"Upsampling", "E2E Lat(ms)", "Pipe Lat(ms)", "vs 2x")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("[%dX,%dY]", r.Factor, r.Factor), r.E2EMs, r.PipeLatMs,
+			fmt.Sprintf("%.2fx", r.SpeedupE))
+	}
+	return t
+}
+
+// Fig11Row is one context-retention point of the lane trunk study.
+type Fig11Row struct {
+	ContextPct int
+	LatencyMs  float64
+	EnergyJ    float64
+	MeetsLcstr bool
+}
+
+// Fig11 sweeps context-aware computing for the lane trunk against the
+// 82 ms pipelining-latency threshold.
+func Fig11(cfg workloads.Config, lcstrMs float64) []Fig11Row {
+	osA := costmodel.SimbaChiplet(dataflow.OS)
+	var rows []Fig11Row
+	for _, pct := range []int{100, 90, 75, 60, 50, 40, 25, 10} {
+		c := cfg
+		c.LaneContext = float64(pct) / 100
+		gc := costmodel.GraphOn(workloads.LaneTrunk(c), osA)
+		rows = append(rows, Fig11Row{
+			ContextPct: pct,
+			LatencyMs:  gc.LatencyMs,
+			EnergyJ:    gc.EnergyJ,
+			MeetsLcstr: gc.LatencyMs <= lcstrMs,
+		})
+	}
+	return rows
+}
+
+// Fig11Table renders the lane context sweep.
+func Fig11Table(rows []Fig11Row, lcstrMs float64) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 11 — lane trunk under context-aware computing (threshold %.0f ms)", lcstrMs),
+		"Context(%)", "Lat(ms)", "Energy(J)", "Meets threshold")
+	for _, r := range rows {
+		t.AddRow(r.ContextPct, r.LatencyMs, r.EnergyJ, fmt.Sprintf("%v", r.MeetsLcstr))
+	}
+	return t
+}

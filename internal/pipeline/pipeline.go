@@ -1,0 +1,131 @@
+// Package pipeline turns a schedule into the paper's reported metrics:
+// end-to-end latency, pipelining latency under stagewise or layerwise
+// pipelining, energy per frame, energy-delay product, and PE
+// utilization.
+//
+// Pipelining semantics (paper §V):
+//   - Stagewise: consecutive frames overlap at stage granularity; the
+//     initiation interval is the slowest stage's end-to-end latency.
+//   - Layerwise: frames stream through chiplets; the initiation interval
+//     is the busiest single chiplet's per-frame work.
+package pipeline
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/sched"
+)
+
+// Mode selects the pipelining scheme.
+type Mode int
+
+const (
+	// Stagewise overlaps frames at stage granularity.
+	Stagewise Mode = iota
+	// Layerwise overlaps frames at chiplet granularity.
+	Layerwise
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Stagewise:
+		return "stagewise"
+	case Layerwise:
+		return "layerwise"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Metrics is the paper's Table II row.
+type Metrics struct {
+	Mode Mode
+
+	E2EMs     float64 // one frame through all stages, incl. NoP
+	PipeLatMs float64 // initiation interval (throughput = 1/PipeLat)
+	EnergyJ   float64 // per frame, compute + NoP
+	EDP       float64 // EnergyJ * PipeLatMs
+	UtilPct   float64 // useful MACs / (total PEs * f * PipeLat)
+
+	NoPLatMs   float64 // total NoP serialization latency per frame
+	NoPEnergyJ float64
+	MACs       int64
+	FPS        float64 // 1000 / PipeLatMs
+}
+
+// Compute derives metrics for a schedule under the given mode.
+func Compute(s *sched.Schedule, mode Mode) Metrics {
+	var m Metrics
+	m.Mode = mode
+
+	var interLat, interEnergy float64
+	for _, t := range s.InterStage {
+		c := s.MCM.NoP.Eval(t)
+		interLat += c.LatencyMs
+		interEnergy += c.EnergyJ
+	}
+
+	nStages := len(s.Pipeline.Stages)
+	var stageE2E []float64
+	for i := 0; i < nStages && i < len(s.Stages); i++ {
+		ss := s.Stages[i]
+		m.E2EMs += ss.E2EMs
+		m.EnergyJ += ss.EnergyJ
+		m.MACs += ss.MACs
+		m.NoPLatMs += ss.NoPLatMs
+		m.NoPEnergyJ += ss.NoPEnergyJ
+		stageE2E = append(stageE2E, ss.E2EMs)
+	}
+	// Inter-stage movement: charge the worst single boundary transfer to
+	// the critical path; all of them to energy.
+	var worstBoundary float64
+	for _, t := range s.InterStage {
+		c := s.MCM.NoP.Eval(t)
+		if c.LatencyMs > worstBoundary {
+			worstBoundary = c.LatencyMs
+		}
+	}
+	m.E2EMs += worstBoundary * float64(maxInt(0, nStages-1))
+	m.NoPLatMs += interLat
+	m.NoPEnergyJ += interEnergy
+	m.EnergyJ += m.NoPEnergyJ
+
+	lw := s.PipeLatMs()
+	switch mode {
+	case Stagewise:
+		// Stage-granularity initiation: bounded below by the slowest
+		// stage AND by the busiest chiplet (a chiplet serving several
+		// stages serializes them between frames).
+		m.PipeLatMs = lw
+		for _, v := range stageE2E {
+			if v > m.PipeLatMs {
+				m.PipeLatMs = v
+			}
+		}
+	case Layerwise:
+		m.PipeLatMs = lw
+	}
+	if m.PipeLatMs <= 0 {
+		m.PipeLatMs = m.E2EMs
+	}
+
+	peak := s.MCM.PeakMACs() // MACs per second
+	if peak > 0 && m.PipeLatMs > 0 {
+		m.UtilPct = float64(m.MACs) / (peak * m.PipeLatMs / 1e3) * 100
+		if m.UtilPct > 100 {
+			m.UtilPct = 100
+		}
+	}
+	m.EDP = m.EnergyJ * m.PipeLatMs
+	if m.PipeLatMs > 0 {
+		m.FPS = 1e3 / m.PipeLatMs
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

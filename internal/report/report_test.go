@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Title", "Name", "Value")
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta", 12345.0)
+	t.AddRow("with,comma", "x\"y")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "Name") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Error("row content missing")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	csv := sample().CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"x""y"`) {
+		t.Errorf("quote cell not escaped:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "Name,Value\n") {
+		t.Errorf("header row wrong:\n%s", csv)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.HasPrefix(md, "| Name | Value |") {
+		t.Errorf("markdown header:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Error("markdown separator missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(0.0001)
+	tb.AddRow(3.14159)
+	tb.AddRow(42.5)
+	tb.AddRow(98765.0)
+	out := tb.String()
+	for _, want := range []string{"0", "1.00e-04", "3.14", "42.5", "98765"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "chart", []string{"a", "bb"}, []float64{1, 2}, "ms")
+	out := b.String()
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "##") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Error("bar lengths not proportional")
+	}
+}
+
+func TestBarsZeroSafe(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "", []string{"x"}, []float64{0}, "")
+	if !strings.Contains(b.String(), "x") {
+		t.Error("zero-value bars should still render labels")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "s", []string{"p1"}, []float64{3}, "J")
+	if !strings.Contains(b.String(), "p1") {
+		t.Error("series output missing label")
+	}
+}

@@ -1,0 +1,530 @@
+package sched
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/workloads"
+)
+
+// Options tunes Algorithm 1.
+type Options struct {
+	// Tolerance is the allowed fractional excess of a stage's pipelining
+	// latency over the base latency before it counts as a bottleneck
+	// (the paper's tolerance coefficient).
+	Tolerance float64
+	// MaxIters caps the greedy iterations (safety net).
+	MaxIters int
+	// BaseStage selects the stage whose pipelining latency anchors the
+	// throughput matching (the paper chooses FE+BFPN; see §IV-A).
+	BaseStage int
+	// MinimizeBase, when true, keeps splitting the base stage after the
+	// other stages have matched it, as long as idle chiplets remain —
+	// the dual-NPU behaviour of Fig 10.
+	MinimizeBase bool
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{Tolerance: 0.05, MaxIters: 256, BaseStage: workloads.StageFE, MinimizeBase: true}
+}
+
+// Step records one greedy action for the Fig 10 style trace.
+type Step struct {
+	Action       string
+	Stage        string
+	PipeLatMs    float64 // whole-schedule pipelining latency after the step
+	BaseMs       float64
+	ChipletsFree int
+}
+
+// Schedule is the result of Algorithm 1.
+type Schedule struct {
+	MCM      *chiplet.MCM
+	Pipeline *workloads.Pipeline
+	Opts     Options
+	Stages   []*StageSchedule
+	Steps    []Step
+	BaseMs   float64
+
+	// InterStage transfers connect consecutive stages' boundary units.
+	InterStage []nop.Transfer
+}
+
+// Build runs Algorithm 1: quadrant allocation, initial per-layer
+// placement, then nested greedy throughput matching with recursive
+// sharding and surplus-chiplet reallocation.
+func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, error) {
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 256
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 0.05
+	}
+	if opts.BaseStage >= len(p.Stages) {
+		opts.BaseStage = 0
+	}
+	s := &Schedule{MCM: m, Pipeline: p, Opts: opts}
+
+	pools, err := allocatePools(m, len(p.Stages))
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range p.Stages {
+		s.Stages = append(s.Stages, newStageSchedule(i, st, pools[i], m))
+	}
+	if len(pools) > len(p.Stages) {
+		// Unassigned surplus partition (e.g. the trunks quadrant in a
+		// 3-stage run): modeled as an empty stage whose idle chiplets
+		// borrowChiplet can raid.
+		s.Stages = append(s.Stages, &StageSchedule{
+			Name: "surplus", Index: len(p.Stages),
+			Pool: pools[len(p.Stages)], mcm: m,
+		})
+	}
+	if err := s.refreshAll(); err != nil {
+		return nil, err
+	}
+	s.record("init", "")
+
+	// Outer loop: alleviate bottleneck stages until throughput matches.
+	skip := make(map[*Unit]bool)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		base := s.Stages[opts.BaseStage].PipeLatMs
+		s.BaseMs = base
+		bn := s.worstStage(opts.BaseStage, base)
+		if bn == nil {
+			// All stages matched. Optionally push the base down (Fig 10).
+			if !opts.MinimizeBase || !s.improveBase(skip) {
+				break
+			}
+			continue
+		}
+		if !s.relieve(bn, skip) {
+			// Saturated: try pulling an idle chiplet from another stage.
+			if !s.borrowChiplet(bn) {
+				break
+			}
+			if err := bn.refresh(); err != nil {
+				return nil, err
+			}
+			clearStageSkips(skip, bn.Index)
+			s.record("borrow-chiplet", bn.Name)
+		}
+	}
+	s.useIdleChiplets()
+	if err := s.refreshAll(); err != nil {
+		return nil, err
+	}
+	s.buildInterStage()
+	return s, nil
+}
+
+// useIdleChiplets performs the paper's "additional sharding step": once
+// throughput is matched, stages that still own idle chiplets keep
+// sharding their end-to-end-dominant units — it costs nothing and
+// shortens the stage critical path (Fig 6 shards the spatial FFN from
+// 4-fold to 8-fold this way).
+func (s *Schedule) useIdleChiplets() {
+	for i := range s.Pipeline.Stages {
+		ss := s.Stages[i]
+		skip := make(map[*Unit]bool)
+		for guard := 0; guard < 4*len(ss.Pool); guard++ {
+			if len(ss.idleCoords()) == 0 {
+				break
+			}
+			u := ss.bottleneckUnit(skip)
+			if u == nil {
+				break
+			}
+			if u.canSegment() {
+				skip[u] = true // segmentation here would add NoP for no throughput gain
+				continue
+			}
+			beforeE2E := ss.E2EMs
+			beforeShards := u.Shards
+			if _, ok := s.applyImprovement(ss, u); !ok {
+				skip[u] = true
+				continue
+			}
+			if err := ss.refresh(); err != nil || ss.E2EMs >= beforeE2E-1e-9 {
+				u.Shards = beforeShards
+				if err2 := ss.refresh(); err2 != nil {
+					return
+				}
+				skip[u] = true
+				continue
+			}
+			s.record(fmt.Sprintf("idle-shard %s", u.Label()), ss.Name)
+		}
+	}
+}
+
+// allocatePools carves the mesh into per-stage chiplet pools: one
+// contiguous partition per stage when the package is large enough
+// (quadrants for the 6x6 package), otherwise all stages share the full
+// pool (the monolithic / few-chip baselines).
+func allocatePools(m *chiplet.MCM, nStages int) ([][]nop.Coord, error) {
+	coords := m.Coords()
+	if len(coords) < 2*nStages {
+		// Too few chiplets for meaningful per-stage partitions (the
+		// monolithic and few-chip baselines): every stage shares the
+		// full pool and the packing is global.
+		pools := make([][]nop.Coord, nStages)
+		for i := range pools {
+			pools[i] = coords
+		}
+		return pools, nil
+	}
+	// Prefer the quadrant split of the paper: 4 partitions for a
+	// 4-stage pipeline. A 3-stage view still uses 4 partitions, with
+	// the last one left as a surplus pool that borrowChiplet can raid
+	// (borrowing only takes idle chiplets, and surplus ones are idle).
+	parts := nStages
+	if m.Chiplets()%parts != 0 && m.Chiplets()%4 == 0 {
+		parts = 4
+	}
+	if m.Chiplets()%parts != 0 {
+		// Uneven split: round-robin the remainder.
+		per := m.Chiplets() / parts
+		pools := make([][]nop.Coord, nStages)
+		for i := 0; i < nStages; i++ {
+			lo := i * per
+			hi := lo + per
+			if i == nStages-1 {
+				hi = len(coords)
+			}
+			pools[i] = coords[lo:hi]
+		}
+		return pools, nil
+	}
+	split, err := m.Partitions(parts)
+	if err != nil {
+		return nil, err
+	}
+	pools := make([][]nop.Coord, nStages)
+	for i := 0; i < nStages; i++ {
+		pools[i] = split[i]
+	}
+	// Extra partitions (e.g. the trunks quadrant in a 3-stage run)
+	// augment the last stage's reachable surplus via a shared tail pool:
+	// they stay unassigned; borrowChiplet finds them through the spare
+	// list.
+	if parts > nStages {
+		var spare []nop.Coord
+		for i := nStages; i < parts; i++ {
+			spare = append(spare, split[i]...)
+		}
+		pools = append(pools, spare) // sentinel surplus pool
+	}
+	return pools, nil
+}
+
+// refreshAll recomputes every stage.
+func (s *Schedule) refreshAll() error {
+	for _, ss := range s.Stages {
+		if err := ss.refresh(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worstStage returns the stage (other than base) whose pipelining
+// latency exceeds base*(1+tol) by the most, or nil.
+func (s *Schedule) worstStage(baseIdx int, base float64) *StageSchedule {
+	limit := base * (1 + s.Opts.Tolerance)
+	var worst *StageSchedule
+	for i, ss := range s.Stages {
+		if i == baseIdx {
+			continue
+		}
+		if ss.PipeLatMs > limit && (worst == nil || ss.PipeLatMs > worst.PipeLatMs) {
+			worst = ss
+		}
+	}
+	return worst
+}
+
+// relieve performs one inner-loop step on stage ss: shard or segment its
+// bottleneck unit. Returns false when the stage is saturated. A step
+// that fails to reduce the stage's pipelining latency is reverted.
+func (s *Schedule) relieve(ss *StageSchedule, skip map[*Unit]bool) bool {
+	for {
+		u := ss.bottleneckUnit(skip)
+		if u == nil {
+			return false
+		}
+		before := ss.PipeLatMs
+		beforeUnit := u.PerShardMs
+		prevUnits := append([]*Unit(nil), ss.Units...)
+		prevShards := u.Shards
+		newUnits, applied := s.applyImprovement(ss, u)
+		if !applied {
+			skip[u] = true
+			continue
+		}
+		if err := ss.refresh(); err == nil {
+			unitAfter := 0.0
+			for _, nu := range newUnits {
+				unitAfter = maxf(unitAfter, nu.PerShardMs)
+			}
+			// Accept when the stage didn't regress and either the stage
+			// bottleneck or the targeted unit got faster (with replicated
+			// models, one instance's split doesn't move the stage max
+			// until its twin splits too).
+			if ss.PipeLatMs <= before+1e-9 &&
+				(ss.PipeLatMs < before-1e-9 || unitAfter < beforeUnit-1e-9) {
+				s.record(fmt.Sprintf("shard %s", u.Label()), ss.Name)
+				return true
+			}
+		}
+		// Regression (pool saturated for this unit): roll back.
+		ss.Units = prevUnits
+		u.Shards = prevShards
+		if err := ss.refresh(); err != nil {
+			return false
+		}
+		skip[u] = true
+	}
+}
+
+// applyImprovement shards a single-layer unit one efficient step further
+// or splits a multi-layer unit into two pipeline segments. It returns
+// the units carrying the work afterwards.
+func (s *Schedule) applyImprovement(ss *StageSchedule, u *Unit) ([]*Unit, bool) {
+	if u.canSegment() {
+		a := s.MCM.At(ss.Pool[0])
+		first, second, err := u.segment(a)
+		if err != nil {
+			return nil, false
+		}
+		for i, v := range ss.Units {
+			if v == u {
+				ss.Units = append(ss.Units[:i], append([]*Unit{first, second}, ss.Units[i+1:]...)...)
+				return []*Unit{first, second}, true
+			}
+		}
+		return nil, false
+	}
+	next := u.nextShards(len(ss.Pool))
+	if next <= u.Shards {
+		return nil, false
+	}
+	u.Shards = next
+	return []*Unit{u}, true
+}
+
+// improveBase tries to reduce the base stage's pipelining latency when
+// every other stage has already matched it and idle chiplets remain
+// anywhere on the package (Fig 10's dual-NPU behaviour: the FE models
+// split into two pipeline segments, halving the base).
+func (s *Schedule) improveBase(skip map[*Unit]bool) bool {
+	base := s.Stages[s.Opts.BaseStage]
+	idleTotal := 0
+	for _, ss := range s.Stages {
+		idleTotal += len(ss.idleCoords())
+	}
+	if idleTotal == 0 {
+		return false
+	}
+	// Splitting every FE replica needs one extra chiplet per replica.
+	var splittable []*Unit
+	for _, u := range base.Units {
+		if u.canSegment() && !skip[u] {
+			splittable = append(splittable, u)
+		}
+	}
+	if len(splittable) == 0 || idleTotal < len(splittable) {
+		// Fall back to improving one base unit at a time (splitting the
+		// replicas one by one — the stage max only moves once the last
+		// twin splits, so per-unit progress counts).
+		if len(base.idleCoords()) == 0 && s.borrowChiplet(base) {
+			clearStageSkips(skip, base.Index)
+			if err := base.refresh(); err != nil {
+				return false
+			}
+		}
+		return s.relieve(base, skip)
+	}
+	// Grow the base pool with borrowed idle chiplets, then split.
+	for i := 0; i < len(splittable); i++ {
+		if len(base.idleCoords()) == 0 && !s.borrowChiplet(base) {
+			return false
+		}
+	}
+	clearStageSkips(skip, base.Index)
+	before := base.PipeLatMs
+	for _, u := range splittable {
+		if _, ok := s.applyImprovement(base, u); !ok {
+			skip[u] = true
+		}
+	}
+	if err := base.refresh(); err != nil {
+		return false
+	}
+	if base.PipeLatMs >= before-1e-9 {
+		for _, u := range splittable {
+			skip[u] = true
+		}
+		return false
+	}
+	s.record("segment-base-models", base.Name)
+	return true
+}
+
+// clearStageSkips unmarks a stage's units after its pool grows: a unit
+// that could not shard into a saturated pool may fit now.
+func clearStageSkips(skip map[*Unit]bool, stageIdx int) {
+	for u := range skip {
+		if u.StageIdx == stageIdx {
+			delete(skip, u)
+		}
+	}
+}
+
+// borrowChiplet moves one idle chiplet from the least-loaded donor stage
+// (or the surplus pool) into ss's pool.
+func (s *Schedule) borrowChiplet(ss *StageSchedule) bool {
+	var donor *StageSchedule
+	for _, other := range s.Stages {
+		if other == ss {
+			continue
+		}
+		if len(other.idleCoords()) > 0 && (donor == nil ||
+			len(other.idleCoords()) > len(donor.idleCoords())) {
+			donor = other
+		}
+	}
+	if donor == nil {
+		return false
+	}
+	idle := donor.idleCoords()
+	c := idle[len(idle)-1]
+	for i, pc := range donor.Pool {
+		if pc == c {
+			donor.Pool = append(donor.Pool[:i], donor.Pool[i+1:]...)
+			break
+		}
+	}
+	ss.Pool = append(ss.Pool, c)
+	return true
+}
+
+// record appends a trace step with the current global state.
+func (s *Schedule) record(action, stage string) {
+	free := 0
+	for _, ss := range s.Stages {
+		free += len(ss.idleCoords())
+	}
+	s.Steps = append(s.Steps, Step{
+		Action:       action,
+		Stage:        stage,
+		PipeLatMs:    s.PipeLatMs(),
+		BaseMs:       s.BaseMs,
+		ChipletsFree: free,
+	})
+}
+
+// PipeLatMs returns the schedule's layerwise pipelining latency: the
+// maximum per-chiplet busy time, accumulated globally so that chiplets
+// shared between stages (the few-chip baselines) carry the sum of their
+// stage loads.
+func (s *Schedule) PipeLatMs() float64 {
+	load := make(map[nop.Coord]float64)
+	for i, ss := range s.Stages {
+		if i >= len(s.Pipeline.Stages) {
+			continue // surplus sentinel
+		}
+		for _, u := range ss.Units {
+			for _, c := range u.Chiplets {
+				load[c] += u.PerShardMs
+			}
+		}
+	}
+	var v float64
+	for _, l := range load {
+		v = maxf(v, l)
+	}
+	return v
+}
+
+// StagePipeLats returns each stage's pipelining latency in order.
+func (s *Schedule) StagePipeLats() []float64 {
+	out := make([]float64, 0, len(s.Pipeline.Stages))
+	for i := range s.Pipeline.Stages {
+		out = append(out, s.Stages[i].PipeLatMs)
+	}
+	return out
+}
+
+// buildInterStage creates the stage-boundary transfers: each stage
+// instance's terminal unit sends its output to the next stage's first
+// unit's chiplet.
+func (s *Schedule) buildInterStage() {
+	s.InterStage = s.InterStage[:0]
+	for i := 0; i+1 < len(s.Pipeline.Stages); i++ {
+		cur, next := s.Stages[i], s.Stages[i+1]
+		if len(next.Units) == 0 || len(cur.Units) == 0 {
+			continue
+		}
+		dst := next.Units[0]
+		// Terminal units: per replica/model, the last unit in sequence.
+		terminals := terminalUnits(cur)
+		for _, u := range terminals {
+			bytes := u.outputBytes()
+			if bytes <= 0 || len(u.Chiplets) == 0 || len(dst.Chiplets) == 0 {
+				continue
+			}
+			per := bytes / int64(len(u.Chiplets))
+			for k, src := range u.Chiplets {
+				s.InterStage = append(s.InterStage, nop.Transfer{
+					Src: src, Dst: dst.Chiplets[k%len(dst.Chiplets)],
+					Bytes: per,
+					Label: u.Nodes[len(u.Nodes)-1].Layer.Name,
+				})
+			}
+		}
+	}
+}
+
+// terminalUnits returns, for each (model, replica) of the stage, the
+// unit holding the model's final node.
+func terminalUnits(ss *StageSchedule) []*Unit {
+	type key struct {
+		model   string
+		replica int
+	}
+	lastID := make(map[key]int)
+	pick := make(map[key]*Unit)
+	for _, u := range ss.Units {
+		k := key{u.Model, u.Replica}
+		id := u.Nodes[len(u.Nodes)-1].ID
+		if cur, ok := lastID[k]; !ok || id > cur {
+			lastID[k] = id
+			pick[k] = u
+		}
+	}
+	out := make([]*Unit, 0, len(pick))
+	for _, u := range pick {
+		out = append(out, u)
+	}
+	return out
+}
+
+// FindUnit returns the unit of stage idx containing the named layer
+// (nil if absent); a convenience for tests and reports.
+func (s *Schedule) FindUnit(stageIdx int, layerName string) *Unit {
+	if stageIdx >= len(s.Stages) {
+		return nil
+	}
+	for _, u := range s.Stages[stageIdx].Units {
+		for _, n := range u.Nodes {
+			if n.Layer.Name == layerName {
+				return u
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/workloads"
+)
+
+// StageSchedule holds the mapping of one pipeline stage onto its chiplet
+// pool.
+type StageSchedule struct {
+	Name  string
+	Index int
+	Pool  []nop.Coord
+	Units []*Unit
+
+	// Derived metrics (recomputed by refresh).
+	PipeLatMs  float64 // max per-chiplet busy time (layerwise pipelining)
+	E2EMs      float64 // critical-path latency through the stage, incl NoP
+	EnergyJ    float64 // compute energy (NoP accounted separately)
+	MACs       int64
+	NoPLatMs   float64
+	NoPEnergyJ float64
+	Transfers  []nop.Transfer
+
+	mcm *chiplet.MCM
+}
+
+// newStageSchedule builds the initial unit decomposition for a stage.
+//
+//   - Replicated stages (FE+BFPN x 8 cameras) get one whole-model unit
+//     per replica.
+//   - Single-model fusion stages get one unit per layer (tiny
+//     non-compute layers fold into their predecessor unit).
+//   - Multi-model stages (trunks) get one whole-model unit per model.
+func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.MCM) *StageSchedule {
+	ss := &StageSchedule{Name: st.Name, Index: idx, Pool: append([]nop.Coord(nil), pool...), mcm: m}
+	switch {
+	case st.Replicas > 1:
+		for r := 0; r < st.Replicas; r++ {
+			for _, g := range st.Graphs {
+				ss.Units = append(ss.Units, &Unit{
+					StageIdx: idx, Model: g.Name, Replica: r + 1,
+					Nodes: g.Nodes(), Shards: 1,
+				})
+			}
+		}
+	case len(st.Graphs) == 1:
+		g := st.Graphs[0]
+		var cur *Unit
+		for _, n := range g.Nodes() {
+			significant := n.Layer.Kind.ComputeBound()
+			if cur == nil || significant {
+				cur = &Unit{StageIdx: idx, Model: g.Name, Nodes: []*dnn.Node{n}, Shards: 1}
+				ss.Units = append(ss.Units, cur)
+			} else {
+				cur.Nodes = append(cur.Nodes, n)
+			}
+		}
+	default:
+		for _, g := range st.Graphs {
+			ss.Units = append(ss.Units, &Unit{
+				StageIdx: idx, Model: g.Name, Nodes: g.Nodes(), Shards: 1,
+			})
+		}
+	}
+	return ss
+}
+
+// refresh re-evaluates unit costs, re-places units onto the pool (LPT),
+// and recomputes the stage metrics.
+func (ss *StageSchedule) refresh() error {
+	if len(ss.Pool) == 0 {
+		return fmt.Errorf("sched: stage %s has an empty chiplet pool", ss.Name)
+	}
+	// Evaluate on the pool's (homogeneous) accelerator.
+	ref := ss.mcm.At(ss.Pool[0])
+	for _, u := range ss.Units {
+		if u.Shards > int64(len(ss.Pool)) {
+			u.Shards = int64(len(ss.Pool))
+		}
+		if err := u.evalOn(ref); err != nil {
+			return err
+		}
+	}
+	ss.place()
+	// Re-evaluate heterogeneous pools against their actual chiplets.
+	for _, u := range ss.Units {
+		worst := 0.0
+		for _, c := range u.Chiplets {
+			a := ss.mcm.At(c)
+			if a == ref {
+				worst = maxf(worst, u.PerShardMs)
+				continue
+			}
+			probe := *u
+			if err := (&probe).evalOn(a); err != nil {
+				return err
+			}
+			worst = maxf(worst, probe.PerShardMs)
+		}
+		if worst > 0 {
+			u.PerShardMs = worst
+		}
+	}
+	ss.computeMetrics()
+	return nil
+}
+
+// place assigns each unit's shards to chiplets with longest-processing-
+// time-first packing: heavier units claim the least-loaded chiplets.
+func (ss *StageSchedule) place() {
+	load := make(map[nop.Coord]float64, len(ss.Pool))
+	for _, c := range ss.Pool {
+		load[c] = 0
+	}
+	order := make([]*Unit, len(ss.Units))
+	copy(order, ss.Units)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].PerShardMs*float64(order[i].Shards) >
+			order[j].PerShardMs*float64(order[j].Shards)
+	})
+	for _, u := range order {
+		n := int(u.Shards)
+		if n > len(ss.Pool) {
+			n = len(ss.Pool)
+		}
+		coords := leastLoaded(load, ss.Pool, n)
+		u.Chiplets = coords
+		for _, c := range coords {
+			load[c] += u.PerShardMs
+		}
+	}
+}
+
+// leastLoaded picks n distinct pool coords with minimal load,
+// deterministic by row-major order on ties.
+func leastLoaded(load map[nop.Coord]float64, pool []nop.Coord, n int) []nop.Coord {
+	type cl struct {
+		c nop.Coord
+		l float64
+	}
+	cands := make([]cl, 0, len(pool))
+	for _, c := range pool {
+		cands = append(cands, cl{c, load[c]})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].l < cands[j].l })
+	out := make([]nop.Coord, 0, n)
+	for i := 0; i < n && i < len(cands); i++ {
+		out = append(out, cands[i].c)
+	}
+	sortCoords(out)
+	return out
+}
+
+// computeMetrics derives pipe latency, E2E, energy and intra-stage NoP
+// traffic from the current placement.
+func (ss *StageSchedule) computeMetrics() {
+	load := make(map[nop.Coord]float64, len(ss.Pool))
+	ss.EnergyJ = 0
+	ss.MACs = 0
+	for _, u := range ss.Units {
+		for _, c := range u.Chiplets {
+			load[c] += u.PerShardMs
+		}
+		ss.EnergyJ += u.EnergyJ
+		ss.MACs += u.MACs
+	}
+	ss.PipeLatMs = 0
+	for _, l := range load {
+		ss.PipeLatMs = maxf(ss.PipeLatMs, l)
+	}
+
+	// Intra-stage transfers: edges between units of the same instance.
+	ss.Transfers = ss.Transfers[:0]
+	byReplica := make(map[int][]*Unit)
+	for _, u := range ss.Units {
+		byReplica[u.Replica] = append(byReplica[u.Replica], u)
+	}
+	ss.NoPLatMs, ss.NoPEnergyJ = 0, 0
+	var chains []float64
+	for _, us := range byReplica {
+		chain := ss.instanceCriticalPath(us)
+		chains = append(chains, chain)
+	}
+	// E2E of the stage: the longest instance chain (replicas and trunk
+	// models run concurrently when they own disjoint chiplets), floored
+	// by the stage's busiest chiplet (instances forced onto a shared
+	// chiplet serialize).
+	ss.E2EMs = 0
+	for _, c := range chains {
+		ss.E2EMs = maxf(ss.E2EMs, c)
+	}
+	ss.E2EMs = maxf(ss.E2EMs, ss.PipeLatMs)
+	for _, t := range ss.Transfers {
+		c := ss.mcm.NoP.Eval(t)
+		ss.NoPLatMs += c.LatencyMs
+		ss.NoPEnergyJ += c.EnergyJ
+	}
+}
+
+// instanceCriticalPath walks the units of one model instance in order,
+// summing per-shard latencies and inter-unit transfer latencies, and
+// records the transfers. Units of the same instance are serial (they
+// partition one model's layers).
+func (ss *StageSchedule) instanceCriticalPath(us []*Unit) float64 {
+	var total float64
+	models := make(map[string][]*Unit)
+	for _, u := range us {
+		models[u.Model] = append(models[u.Model], u)
+	}
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var worst float64
+	for _, name := range names {
+		seq := models[name]
+		var chain float64
+		for i, u := range seq {
+			chain += u.PerShardMs
+			if i+1 < len(seq) {
+				chain += ss.linkUnits(u, seq[i+1])
+			}
+		}
+		worst = maxf(worst, chain)
+	}
+	total = worst
+	return total
+}
+
+// linkUnits records the NoP transfers from producer u to consumer v and
+// returns the added critical-path latency (the slowest single shard
+// transfer; shard streams move in parallel).
+func (ss *StageSchedule) linkUnits(u, v *Unit) float64 {
+	bytes := u.outputBytes()
+	if bytes <= 0 || len(u.Chiplets) == 0 || len(v.Chiplets) == 0 {
+		return 0
+	}
+	per := bytes / int64(len(u.Chiplets))
+	var worst float64
+	for i, src := range u.Chiplets {
+		dst := v.Chiplets[i%len(v.Chiplets)]
+		t := nop.Transfer{Src: src, Dst: dst, Bytes: per, Label: u.Nodes[len(u.Nodes)-1].Layer.Name}
+		ss.Transfers = append(ss.Transfers, t)
+		worst = maxf(worst, ss.mcm.NoP.Eval(t).LatencyMs)
+	}
+	return worst
+}
+
+// busyChiplets returns coords with nonzero load.
+func (ss *StageSchedule) busyChiplets() map[nop.Coord]bool {
+	busy := make(map[nop.Coord]bool)
+	for _, u := range ss.Units {
+		for _, c := range u.Chiplets {
+			busy[c] = true
+		}
+	}
+	return busy
+}
+
+// idleCoords returns pool coords with no assigned work.
+func (ss *StageSchedule) idleCoords() []nop.Coord {
+	busy := ss.busyChiplets()
+	var idle []nop.Coord
+	for _, c := range ss.Pool {
+		if !busy[c] {
+			idle = append(idle, c)
+		}
+	}
+	return idle
+}
+
+// bottleneckUnit returns the unit with the largest per-shard latency
+// that can still be sharded or segmented; nil if none.
+func (ss *StageSchedule) bottleneckUnit(skip map[*Unit]bool) *Unit {
+	var best *Unit
+	for _, u := range ss.Units {
+		if skip[u] {
+			continue
+		}
+		improvable := u.canSegment() || u.nextShards(len(ss.Pool)) > u.Shards
+		if !improvable {
+			continue
+		}
+		if best == nil || u.PerShardMs > best.PerShardMs {
+			best = u
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

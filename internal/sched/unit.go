@@ -1,0 +1,188 @@
+// Package sched implements the paper's core contribution: the nested
+// greedy throughput-matching scheduler (Algorithm 1) that maps the
+// four-stage perception pipeline onto a multi-chiplet NPU.
+//
+// The scheduler works on Units — contiguous runs of layers from one
+// model instance. A unit can be data-parallel sharded across several
+// chiplets (weights replicated, rows/batch split) or, when it spans
+// multiple layers, split into pipeline segments. The outer greedy loop
+// matches every stage's pipelining latency to the base stage (FE+BFPN);
+// the inner loop shards the bottleneck unit of the bottleneck stage.
+// Surplus (idle) chiplets migrate from over-provisioned stages to
+// bottleneck stages, reproducing the paper's Figures 5-8 mappings and
+// the Fig 10 dual-NPU progression.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/nop"
+)
+
+// Unit is one schedulable piece of work: a contiguous (in topological
+// order) run of layers from one model instance.
+type Unit struct {
+	StageIdx int
+	Model    string
+	Replica  int
+	Nodes    []*dnn.Node
+
+	// Shards is the data-parallel split factor (only meaningful for
+	// single-node units; multi-node units split into segments instead).
+	Shards int64
+
+	// Chiplets holds the mesh positions of every shard (len == Shards).
+	Chiplets []nop.Coord
+
+	// Derived costs (per shard; all shards run concurrently).
+	PerShardMs float64
+	EnergyJ    float64 // total across shards
+	MACs       int64   // total across shards
+}
+
+// Label returns a stable display name for the unit.
+func (u *Unit) Label() string {
+	name := u.Nodes[0].Layer.Name
+	if len(u.Nodes) > 1 {
+		name = fmt.Sprintf("%s..%s", u.Nodes[0].Layer.Name, u.Nodes[len(u.Nodes)-1].Layer.Name)
+	}
+	if u.Replica > 0 {
+		return fmt.Sprintf("%s[%d]", name, u.Replica)
+	}
+	return name
+}
+
+// evalOn computes the unit's per-shard latency and total energy on the
+// given accelerator. For multi-node units the nodes run serially on one
+// chiplet; for sharded single-node units each shard holds a 1/Shards
+// slice with weights replicated.
+func (u *Unit) evalOn(a *costmodel.Accel) error {
+	var ms, ej float64
+	var macs int64
+	for _, n := range u.Nodes {
+		shard, err := n.Layer.Shard(u.Shards)
+		if err != nil {
+			return fmt.Errorf("sched: unit %s: %w", u.Label(), err)
+		}
+		c := costmodel.LayerOn(shard, a)
+		ms += c.LatencyMs
+		ej += c.EnergyJ * float64(u.Shards)
+		macs += n.Layer.MACs()
+	}
+	u.PerShardMs = ms
+	u.EnergyJ = ej
+	u.MACs = macs
+	return nil
+}
+
+// maxShards returns the largest useful shard factor for the unit.
+func (u *Unit) maxShards() int64 {
+	if len(u.Nodes) != 1 {
+		return 1 // multi-node units segment instead of sharding
+	}
+	return u.Nodes[0].Layer.MaxShard()
+}
+
+// nextShards returns the next efficient shard count above the current
+// one: the next divisor of the batch extent for batch-sharded layers
+// (splitting 12 frames 5-ways wastes the ceiling share), otherwise
+// +1 for row-sharded layers. Returns current if exhausted.
+func (u *Unit) nextShards(poolSize int) int64 {
+	if len(u.Nodes) != 1 {
+		return u.Shards
+	}
+	l := u.Nodes[0].Layer
+	max := u.maxShards()
+	if int64(poolSize) < max {
+		max = int64(poolSize)
+	}
+	if u.Shards >= max {
+		return u.Shards
+	}
+	if l.ShardDim == "batch" && l.Nest.Batch > 1 {
+		b := l.Nest.Batch
+		for n := u.Shards + 1; n <= max; n++ {
+			if b%n == 0 {
+				return n
+			}
+		}
+		return u.Shards
+	}
+	return u.Shards + 1
+}
+
+// canSegment reports whether the unit spans multiple layers and can be
+// split into pipeline segments.
+func (u *Unit) canSegment() bool { return len(u.Nodes) > 1 }
+
+// segment splits the unit into two pipeline segments at the balanced
+// cumulative-latency point (the paper splits FE+BFPN at the fourth
+// ResNet block this way in the dual-NPU study). Costs are computed on a.
+func (u *Unit) segment(a *costmodel.Accel) (*Unit, *Unit, error) {
+	if !u.canSegment() {
+		return nil, nil, fmt.Errorf("sched: unit %s cannot segment", u.Label())
+	}
+	lat := make([]float64, len(u.Nodes))
+	var total float64
+	for i, n := range u.Nodes {
+		lat[i] = costmodel.LayerOn(n.Layer, a).LatencyMs
+		total += lat[i]
+	}
+	var acc float64
+	cut := 1
+	bestDiff := total
+	for i := 0; i < len(u.Nodes)-1; i++ {
+		acc += lat[i]
+		diff := abs64(acc - (total - acc))
+		if diff < bestDiff {
+			bestDiff = diff
+			cut = i + 1
+		}
+	}
+	first := &Unit{StageIdx: u.StageIdx, Model: u.Model, Replica: u.Replica,
+		Nodes: u.Nodes[:cut], Shards: 1}
+	second := &Unit{StageIdx: u.StageIdx, Model: u.Model, Replica: u.Replica,
+		Nodes: u.Nodes[cut:], Shards: 1}
+	if err := first.evalOn(a); err != nil {
+		return nil, nil, err
+	}
+	if err := second.evalOn(a); err != nil {
+		return nil, nil, err
+	}
+	return first, second, nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// outputBytes returns the bytes the unit emits downstream (int8
+// activations of its terminal node).
+func (u *Unit) outputBytes() int64 {
+	return u.Nodes[len(u.Nodes)-1].Layer.OutputElems()
+}
+
+// containsNode reports whether the unit holds the given node.
+func (u *Unit) containsNode(id int) bool {
+	for _, n := range u.Nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func sortCoords(cs []nop.Coord) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Y != cs[j].Y {
+			return cs[i].Y < cs[j].Y
+		}
+		return cs[i].X < cs[j].X
+	})
+}

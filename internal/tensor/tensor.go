@@ -1,0 +1,167 @@
+// Package tensor provides shape and datatype accounting for DNN feature
+// maps and weights. The simulator never materializes tensor values; it
+// only tracks dimensions, element counts and byte footprints, which is
+// all the analytical cost model and the discrete-event simulator need.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType identifies the element datatype of a tensor. The paper's Simba
+// substrate is an int8 inference engine; accumulators are int32.
+type DType int
+
+const (
+	Int8 DType = iota
+	Int16
+	Int32
+	FP16
+	FP32
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case Int8:
+		return 1
+	case Int16, FP16:
+		return 2
+	case Int32, FP32:
+		return 4
+	default:
+		return 1
+	}
+}
+
+func (d DType) String() string {
+	switch d {
+	case Int8:
+		return "int8"
+	case Int16:
+		return "int16"
+	case Int32:
+		return "int32"
+	case FP16:
+		return "fp16"
+	case FP32:
+		return "fp32"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Shape is an ordered list of dimension extents. The convention used
+// throughout the workload definitions is NCHW for image-like tensors and
+// (Tokens, Features) for sequence tensors, but Shape itself is agnostic.
+type Shape []int64
+
+// NCHW builds a 4-D shape in batch/channel/height/width order.
+func NCHW(n, c, h, w int64) Shape { return Shape{n, c, h, w} }
+
+// Seq builds a 2-D (tokens, features) shape.
+func Seq(tokens, features int64) Shape { return Shape{tokens, features} }
+
+// Elems returns the total number of elements, or 0 for an empty shape.
+func (s Shape) Elems() int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the byte footprint of the shape at the given datatype.
+func (s Shape) Bytes(dt DType) int64 { return s.Elems() * dt.Size() }
+
+// Valid reports whether every extent is strictly positive.
+func (s Shape) Valid() bool {
+	if len(s) == 0 {
+		return false
+	}
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	out := make(Shape, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "[" + strings.Join(parts, "x") + "]"
+}
+
+// N, C, H, W accessors assume NCHW layout; they return 1 for missing dims
+// so that lower-rank tensors degrade gracefully.
+func (s Shape) N() int64 { return s.dim(0) }
+
+// C returns the channel extent of an NCHW shape.
+func (s Shape) C() int64 { return s.dim(1) }
+
+// H returns the height extent of an NCHW shape.
+func (s Shape) H() int64 { return s.dim(2) }
+
+// W returns the width extent of an NCHW shape.
+func (s Shape) W() int64 { return s.dim(3) }
+
+func (s Shape) dim(i int) int64 {
+	if i >= len(s) {
+		return 1
+	}
+	return s[i]
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("tensor.CeilDiv: non-positive divisor %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// ConvOut returns the output spatial extent of a convolution over an
+// input of extent in, with the given kernel, stride and symmetric padding.
+func ConvOut(in, kernel, stride, pad int64) int64 {
+	if stride <= 0 {
+		panic("tensor.ConvOut: non-positive stride")
+	}
+	out := (in+2*pad-kernel)/stride + 1
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// DeconvOut returns the output spatial extent of a transposed convolution
+// (fractionally strided) with the given kernel, stride and padding.
+func DeconvOut(in, kernel, stride, pad int64) int64 {
+	return (in-1)*stride + kernel - 2*pad
+}

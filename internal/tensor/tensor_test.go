@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := []struct {
+		dt   DType
+		want int64
+	}{
+		{Int8, 1}, {Int16, 2}, {Int32, 4}, {FP16, 2}, {FP32, 4},
+	}
+	for _, c := range cases {
+		if got := c.dt.Size(); got != c.want {
+			t.Errorf("%v.Size() = %d, want %d", c.dt, got, c.want)
+		}
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if Int8.String() != "int8" || FP32.String() != "fp32" {
+		t.Errorf("unexpected DType strings: %v %v", Int8, FP32)
+	}
+	if DType(99).String() == "" {
+		t.Error("unknown dtype should still stringify")
+	}
+}
+
+func TestShapeElems(t *testing.T) {
+	if got := NCHW(1, 256, 20, 80).Elems(); got != 256*20*80 {
+		t.Errorf("Elems = %d, want %d", got, 256*20*80)
+	}
+	if got := Seq(16000, 256).Elems(); got != 16000*256 {
+		t.Errorf("Seq Elems = %d", got)
+	}
+	var empty Shape
+	if empty.Elems() != 0 {
+		t.Error("empty shape should have 0 elements")
+	}
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := NCHW(1, 256, 20, 80)
+	if s.Bytes(Int8) != s.Elems() {
+		t.Error("int8 bytes should equal element count")
+	}
+	if s.Bytes(FP32) != 4*s.Elems() {
+		t.Error("fp32 bytes should be 4x element count")
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !NCHW(1, 3, 720, 1280).Valid() {
+		t.Error("positive shape should be valid")
+	}
+	if (Shape{1, 0, 4}).Valid() {
+		t.Error("zero extent should be invalid")
+	}
+	if (Shape{}).Valid() {
+		t.Error("empty shape should be invalid")
+	}
+	if (Shape{-1, 3}).Valid() {
+		t.Error("negative extent should be invalid")
+	}
+}
+
+func TestShapeCloneEqual(t *testing.T) {
+	s := NCHW(1, 3, 720, 1280)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c[0] = 9
+	if s.Equal(c) {
+		t.Error("mutated clone should differ")
+	}
+	if s.Equal(Seq(2, 3)) {
+		t.Error("different rank shapes should not be equal")
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	s := NCHW(2, 3, 4, 5)
+	if s.N() != 2 || s.C() != 3 || s.H() != 4 || s.W() != 5 {
+		t.Errorf("accessors wrong: %d %d %d %d", s.N(), s.C(), s.H(), s.W())
+	}
+	q := Seq(10, 20)
+	if q.H() != 1 || q.W() != 1 {
+		t.Error("missing dims should read as 1")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := NCHW(1, 3, 2, 2).String(); got != "[1x3x2x2]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 0}, {16000, 256, 63},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with zero divisor should panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestConvOut(t *testing.T) {
+	// 720x1280 stride-2 7x7 pad-3 stem -> 360x640.
+	if got := ConvOut(720, 7, 2, 3); got != 360 {
+		t.Errorf("stem H = %d, want 360", got)
+	}
+	if got := ConvOut(1280, 7, 2, 3); got != 640 {
+		t.Errorf("stem W = %d, want 640", got)
+	}
+	// Same-padding 3x3 stride 1 preserves extent.
+	if got := ConvOut(80, 3, 1, 1); got != 80 {
+		t.Errorf("same conv = %d, want 80", got)
+	}
+}
+
+func TestDeconvOut(t *testing.T) {
+	// Stride-2 kernel-4 pad-1 doubles the extent.
+	if got := DeconvOut(20, 4, 2, 1); got != 40 {
+		t.Errorf("deconv = %d, want 40", got)
+	}
+	if got := DeconvOut(80, 4, 2, 1); got != 160 {
+		t.Errorf("deconv = %d, want 160", got)
+	}
+}
+
+// Property: CeilDiv(a,b)*b >= a and CeilDiv(a,b) is minimal.
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint16, b uint16) bool {
+		bb := int64(b%1000) + 1
+		aa := int64(a)
+		q := CeilDiv(aa, bb)
+		return q*bb >= aa && (q-1)*bb < aa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elems is multiplicative under appending a dimension.
+func TestElemsMultiplicativeProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d1, d2, d3 := int64(a)+1, int64(b)+1, int64(c)+1
+		s := Shape{d1, d2}
+		s2 := append(s.Clone(), d3)
+		return s2.Elems() == s.Elems()*d3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConvOut with stride 1, pad k/2 (odd k) preserves extent.
+func TestConvSamePaddingProperty(t *testing.T) {
+	f := func(in uint8, kOdd uint8) bool {
+		n := int64(in)%500 + 8
+		k := int64(kOdd)%4*2 + 1 // 1,3,5,7
+		return ConvOut(n, k, 1, k/2) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

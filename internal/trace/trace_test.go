@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFramesDeterministic(t *testing.T) {
+	a := NewGenerator(42).Frames(10)
+	b := NewGenerator(42).Frames(10)
+	if len(a) != len(b) || len(a) != 80 {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(43).Frames(10)
+	same := true
+	for i := range a {
+		if a[i].ArrivalMs != c[i].ArrivalMs {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestFramesSortedAndNonNegative(t *testing.T) {
+	fs := NewGenerator(7).Frames(30)
+	for i := 1; i < len(fs); i++ {
+		if fs[i].ArrivalMs < fs[i-1].ArrivalMs {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+	for _, f := range fs {
+		if f.ArrivalMs < 0 || f.Bytes <= 0 {
+			t.Errorf("bad frame %v", f)
+		}
+	}
+}
+
+func TestFrameRate(t *testing.T) {
+	g := NewGenerator(1)
+	fs := g.Frames(31)
+	// 30 FPS: last frame set near 1000 ms.
+	var last float64
+	for _, f := range fs {
+		if f.Seq == 30 && f.ArrivalMs > last {
+			last = f.ArrivalMs
+		}
+	}
+	if last < 990 || last > 1010 {
+		t.Errorf("frame 30 arrives at %.1f ms, want ~1000", last)
+	}
+}
+
+func TestFrameSets(t *testing.T) {
+	g := NewGenerator(3)
+	sets := g.FrameSets(5)
+	if len(sets) != 5 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	for i, s := range sets {
+		if s.Seq != i {
+			t.Errorf("set %d has seq %d", i, s.Seq)
+		}
+	}
+	// Set readiness = max camera arrival, so consecutive sets are
+	// ~33 ms apart.
+	gap := sets[1].ReadyMs - sets[0].ReadyMs
+	if gap < 25 || gap > 42 {
+		t.Errorf("set gap = %.1f ms, want ~33", gap)
+	}
+}
+
+func TestTelemetryBounds(t *testing.T) {
+	g := NewGenerator(5)
+	ts := g.TelemetryStream(500, 100)
+	if len(ts) != 500 {
+		t.Fatalf("samples = %d", len(ts))
+	}
+	for _, s := range ts {
+		if s.SpeedMS < 0 || s.SpeedMS > 35 {
+			t.Errorf("speed out of bounds: %v", s.SpeedMS)
+		}
+		if s.YawRate < -0.5 || s.YawRate > 0.5 {
+			t.Errorf("yaw out of bounds: %v", s.YawRate)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	g := NewGenerator(1)
+	if g.Frames(0) != nil || g.TelemetryStream(0, 10) != nil {
+		t.Error("zero counts should return nil")
+	}
+}
+
+// Property: every frame set contains exactly Cameras frames.
+func TestSetCompletenessProperty(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		count := int(n)%20 + 1
+		g := NewGenerator(uint64(seed))
+		fs := g.Frames(count)
+		perSeq := map[int]int{}
+		for _, fr := range fs {
+			perSeq[fr.Seq]++
+		}
+		for seq := 0; seq < count; seq++ {
+			if perSeq[seq] != g.Cameras {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/tensor"
+)
+
+// FeatureLevel describes one multiscale output of the backbone.
+type FeatureLevel struct {
+	Node  *dnn.Node
+	Shape tensor.Shape
+}
+
+// FeatureExtractor builds the ResNet-18-style backbone for one camera:
+// a 7x7 stride-2 stem, a stride-2 max pool, and four 2-block stages at
+// widths (w, 2w, 4w, 8w), each stage halving the spatial extent. Lateral
+// 1x1 projections lift the stage outputs to the paper's multiscale
+// channel dims (256, 512, 1024, 2048) at /8, /16, /32, /64 of the input
+// (90x160, 45x80, 23x40, 12x20 for a 720x1280 frame).
+func FeatureExtractor(g *dnn.Graph, cfg Config) []FeatureLevel {
+	w := cfg.FEWidth
+	in := tensor.NCHW(1, 3, cfg.InputH, cfg.InputW)
+
+	stem := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "fe.stem", In: in, OutC: 64, Kernel: 7, Stride: 2, Pad: 3, FusedOps: 2,
+	}))
+	pool := g.Add(dnn.NewPool("fe.pool", stem.Layer.Out, 3, 2), stem)
+
+	lateralC := []int64{256, 512, 1024, 2048}
+	widths := []int64{w, 2 * w, 4 * w, 8 * w}
+	prev := pool
+	var levels []FeatureLevel
+	for i, width := range widths {
+		prev = basicStage(g, fmt.Sprintf("fe.l%d", i+1), prev, width)
+		lat := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+			Name: fmt.Sprintf("fe.lat%d", i+1), In: prev.Layer.Out,
+			OutC: lateralC[i], Kernel: 1, Stride: 1, Pad: 0,
+		}), prev)
+		levels = append(levels, FeatureLevel{Node: lat, Shape: lat.Layer.Out})
+	}
+	return levels
+}
+
+// basicStage appends one ResNet stage (two basic blocks; the first
+// downsamples by 2 and changes width, with a 1x1 projection shortcut).
+func basicStage(g *dnn.Graph, name string, in *dnn.Node, width int64) *dnn.Node {
+	// Block A (downsampling).
+	c1 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".a.conv1", In: in.Layer.Out, OutC: width,
+		Kernel: 3, Stride: 2, Pad: 1, FusedOps: 2,
+	}), in)
+	c2 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".a.conv2", In: c1.Layer.Out, OutC: width,
+		Kernel: 3, Stride: 1, Pad: 1, FusedOps: 1,
+	}), c1)
+	sc := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".a.shortcut", In: in.Layer.Out, OutC: width,
+		Kernel: 1, Stride: 2, Pad: 0,
+	}), in)
+	addA := g.Add(dnn.NewEltwise(name+".a.add", c2.Layer.Out, 2), c2, sc)
+
+	// Block B (identity shortcut).
+	c3 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".b.conv1", In: addA.Layer.Out, OutC: width,
+		Kernel: 3, Stride: 1, Pad: 1, FusedOps: 2,
+	}), addA)
+	c4 := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".b.conv2", In: c3.Layer.Out, OutC: width,
+		Kernel: 3, Stride: 1, Pad: 1, FusedOps: 1,
+	}), c3)
+	return g.Add(dnn.NewEltwise(name+".b.add", c4.Layer.Out, 2), c4, addA)
+}
+
+// BiFPN appends `blocks` bidirectional feature-pyramid blocks
+// (EfficientDet-style) over the four multiscale levels, preserving each
+// level's channel width. Fusion nodes are depthwise-separable 3x3
+// convolutions; cross-scale edges project channels at the *smaller*
+// spatial extent before resizing (the cheap direction).
+func BiFPN(g *dnn.Graph, levels []FeatureLevel, blocks int) []FeatureLevel {
+	cur := levels
+	for b := 0; b < blocks; b++ {
+		cur = bifpnBlock(g, fmt.Sprintf("bfpn%d", b+1), cur)
+	}
+	return cur
+}
+
+func bifpnBlock(g *dnn.Graph, name string, lv []FeatureLevel) []FeatureLevel {
+	n := len(lv)
+	// Top-down pass: td[i] fuses lv[i] with upsampled td[i+1].
+	td := make([]FeatureLevel, n)
+	td[n-1] = lv[n-1]
+	for i := n - 2; i >= 0; i-- {
+		up := projectResize(g, fmt.Sprintf("%s.td%d", name, i), td[i+1], lv[i].Shape)
+		sum := g.Add(dnn.NewEltwise(fmt.Sprintf("%s.td%d.add", name, i), lv[i].Shape, 2),
+			lv[i].Node, up)
+		fused := sepConv(g, fmt.Sprintf("%s.td%d.conv", name, i), sum)
+		td[i] = FeatureLevel{Node: fused, Shape: fused.Layer.Out}
+	}
+	// Bottom-up pass: out[i] fuses lv[i], td[i], and downsampled out[i-1].
+	out := make([]FeatureLevel, n)
+	out[0] = td[0]
+	for i := 1; i < n; i++ {
+		down := projectResize(g, fmt.Sprintf("%s.bu%d", name, i), out[i-1], lv[i].Shape)
+		sum := g.Add(dnn.NewEltwise(fmt.Sprintf("%s.bu%d.add", name, i), lv[i].Shape, 2),
+			lv[i].Node, td[i].Node, down)
+		fused := sepConv(g, fmt.Sprintf("%s.bu%d.conv", name, i), sum)
+		out[i] = FeatureLevel{Node: fused, Shape: fused.Layer.Out}
+	}
+	return out
+}
+
+// projectResize aligns src to dst's channel width and spatial extent,
+// doing the 1x1 channel projection at whichever extent is smaller.
+func projectResize(g *dnn.Graph, name string, src FeatureLevel, dst tensor.Shape) *dnn.Node {
+	srcArea := src.Shape.H() * src.Shape.W()
+	dstArea := dst.H() * dst.W()
+	if dstArea >= srcArea {
+		// Project small, then upsample.
+		proj := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+			Name: name + ".proj", In: src.Shape, OutC: dst.C(), Kernel: 1,
+		}), src.Node)
+		return g.Add(dnn.NewResize(name+".resize", proj.Layer.Out, dst.H(), dst.W()), proj)
+	}
+	// Downsample first, then project.
+	rs := g.Add(dnn.NewResize(name+".resize", src.Shape, dst.H(), dst.W()), src.Node)
+	return g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".proj", In: rs.Layer.Out, OutC: dst.C(), Kernel: 1,
+	}), rs)
+}
+
+// sepConv appends a depthwise-separable 3x3 convolution (DW + PW).
+func sepConv(g *dnn.Graph, name string, in *dnn.Node) *dnn.Node {
+	c := in.Layer.Out.C()
+	dw := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".dw", In: in.Layer.Out, OutC: c, Kernel: 3, Stride: 1, Pad: 1,
+		Groups: c,
+	}), in)
+	return g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: name + ".pw", In: dw.Layer.Out, OutC: c, Kernel: 1, FusedOps: 2,
+	}), dw)
+}
+
+// FEBFPN builds the complete stage-1 graph for ONE camera: backbone,
+// two BiFPN blocks, and the output head that projects the fused pyramid
+// onto the per-camera token map consumed by spatial fusion
+// (GridH x GridW x DModel).
+func FEBFPN(cfg Config) *dnn.Graph {
+	g := dnn.NewGraph("fe_bfpn")
+	levels := FeatureExtractor(g, cfg)
+	fused := BiFPN(g, levels, 2)
+
+	// Head: project the /16 level to DModel and resize onto the fusion
+	// token grid.
+	p4 := fused[1]
+	proj := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "head.proj", In: p4.Shape, OutC: cfg.DModel, Kernel: 1,
+	}), p4.Node)
+	g.Add(dnn.NewResize("head.togrid", proj.Layer.Out, cfg.GridH, cfg.GridW), proj)
+	g.Tag("FE_BFPN")
+	return g
+}

@@ -1,0 +1,118 @@
+// Package workloads implements the Tesla-Autopilot-style four-stage
+// perception pipeline the paper characterizes: per-camera feature
+// extraction (ResNet-18-style backbone + BiFPN), multi-camera spatial
+// fusion (transformer attention onto a BEV grid), temporal fusion over a
+// frame queue, and the trunk/head models (occupancy network, lane
+// prediction, detection heads). All models are concrete layer-by-layer
+// dnn.Graph definitions with dimensions taken from the paper
+// (720p x 8 cameras, multiscale features 90x160x256 ... 12x20x2048,
+// 200x80x256 fusion grid, N=12 temporal frames, d=300 temporal
+// embedding).
+package workloads
+
+// Config parametrizes the perception pipeline. The zero value is not
+// useful; start from DefaultConfig.
+type Config struct {
+	// Sensor front end.
+	Cameras int64 // number of installed cameras
+	InputH  int64 // camera image height (pixels)
+	InputW  int64 // camera image width (pixels)
+
+	// Backbone.
+	FEWidth int64 // ResNet stage-1 width (stages double: w, 2w, 4w, 8w)
+
+	// Fusion grid: the shared BEV projection space (the paper's
+	// 200x80x256 attention grid).
+	GridH int64
+	GridW int64
+
+	// Attention geometry.
+	DModel     int64 // spatial-fusion embedding width
+	DTemporal  int64 // temporal-fusion embedding width (paper: 300)
+	FFNMult    int64 // FFN expansion (d_ff = FFNMult * d)
+	AttnWindow int64 // per-query attended keys (windowed attention)
+
+	// Temporal queue depth (paper: N=12).
+	TemporalFrames int64
+
+	// Trunk parameters.
+	OccupancyUpsample int64   // total occupancy upscaling factor: 2,4,8,16
+	OccupancyWidth    int64   // deconvolution channel width
+	LaneLevels        int64   // lane-prediction refinement levels (paper: 3)
+	LaneCrossWindow   int64   // BEV keys each lane anchor attends to
+	LaneContext       float64 // fraction of grid regions processed (Fig 11)
+	DetectionHeads    int64   // detector heads (traffic/vehicle/pedestrian)
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Cameras: 8,
+		InputH:  720,
+		InputW:  1280,
+
+		FEWidth: 56,
+
+		GridH: 200,
+		GridW: 80,
+
+		DModel:     256,
+		DTemporal:  300,
+		FFNMult:    4,
+		AttnWindow: 96,
+
+		TemporalFrames: 12,
+
+		OccupancyUpsample: 16,
+		OccupancyWidth:    128,
+		LaneLevels:        3,
+		LaneCrossWindow:   6000,
+		LaneContext:       1.0,
+		DetectionHeads:    3,
+	}
+}
+
+// GridCells returns the BEV token count (GridH * GridW).
+func (c Config) GridCells() int64 { return c.GridH * c.GridW }
+
+// TrunkGridH and TrunkGridW are the pooled trunk-input grid (the paper's
+// 1x20x80x300 representation entering the trunks).
+func (c Config) TrunkGridH() int64 { return c.GridH / 10 }
+
+// TrunkGridW returns the trunk-input grid width.
+func (c Config) TrunkGridW() int64 { return c.GridW }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	checks := []struct {
+		ok   bool
+		name string
+	}{
+		{c.Cameras > 0, "Cameras"},
+		{c.InputH > 0 && c.InputW > 0, "Input dims"},
+		{c.FEWidth >= 8, "FEWidth"},
+		{c.GridH >= 10 && c.GridW > 0, "Grid dims"},
+		{c.DModel > 0 && c.DTemporal > 0, "embedding widths"},
+		{c.FFNMult > 0, "FFNMult"},
+		{c.AttnWindow > 0, "AttnWindow"},
+		{c.TemporalFrames > 0, "TemporalFrames"},
+		{c.OccupancyUpsample == 2 || c.OccupancyUpsample == 4 ||
+			c.OccupancyUpsample == 8 || c.OccupancyUpsample == 16, "OccupancyUpsample"},
+		{c.OccupancyWidth > 0, "OccupancyWidth"},
+		{c.LaneLevels > 0, "LaneLevels"},
+		{c.LaneCrossWindow > 0, "LaneCrossWindow"},
+		{c.LaneContext > 0 && c.LaneContext <= 1, "LaneContext"},
+		{c.DetectionHeads > 0, "DetectionHeads"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return &ConfigError{Field: ch.name}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid Config field.
+type ConfigError struct{ Field string }
+
+func (e *ConfigError) Error() string { return "workloads: invalid config field " + e.Field }

@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/tensor"
+)
+
+// attnBlock appends one windowed multi-head attention block over
+// `streams` independent token sets (cameras or temporal frames) of
+// `tokens` tokens at width d: QKV projection, logits matmul, softmax,
+// weighted-sum matmul, output projection, and a two-layer FFN. The QKV
+// weights are shared across streams (batched linear). Returns the last
+// node. Layer naming follows the paper's Fig 9 labels.
+func attnBlock(g *dnn.Graph, prefix string, in *dnn.Node, streams, tokens, d, dff, window int64) *dnn.Node {
+	qkv := g.Add(dnn.NewBatchedLinear(prefix+"_QKV_Proj", streams, tokens, d, 3*d), in)
+	logits := g.Add(dnn.NewMatMul(prefix+"_ATTN_logits", streams, tokens, d, window), qkv)
+	sm := g.Add(dnn.NewSoftmax(prefix+"_ATTN_softmax", streams, tokens, window), logits)
+	av := g.Add(dnn.NewMatMul(prefix+"_ATTN_av", streams, tokens, window, d), sm)
+	proj := g.Add(dnn.NewBatchedLinear(prefix+"_FFN_proj", streams, tokens, d, d), av)
+	ffn1 := g.Add(dnn.NewBatchedLinear(prefix+"_FFN_fc1", streams, tokens, d, dff), proj)
+	return g.Add(dnn.NewBatchedLinear(prefix+"_FFN_fc2", streams, tokens, dff, d), ffn1)
+}
+
+// SpatialFusion builds the stage-2 S_FUSE graph: the 8 per-camera token
+// maps (GridH*GridW tokens at DModel each) pass through a shared
+// attention block and are then merged onto the single BEV grid
+// representation (the paper's "fused projection of the 8 camera
+// features onto a 1 x grid x 256" output).
+func SpatialFusion(cfg Config) *dnn.Graph {
+	g := dnn.NewGraph("s_fuse")
+	tokens := cfg.GridCells()
+	d := cfg.DModel
+	// Stand-in for the 8 camera feature maps arriving over NoP.
+	in := g.Add(dnn.NewConcat("S_gather", tensor.Shape{cfg.Cameras * tokens, d}))
+	last := attnBlock(g, "S", in, cfg.Cameras, tokens, d, cfg.FFNMult*d, cfg.AttnWindow)
+	g.Add(dnn.NewEltwise("S_merge", tensor.Shape{tokens, d}, cfg.Cameras), last)
+	g.Tag("S_FUSE")
+	return g
+}
+
+// TemporalFusion builds the stage-3 T_FUSE graph: the current fused BEV
+// map enters a queue of TemporalFrames representations at DTemporal
+// width; an attention block fuses across the queue and the result is
+// pooled onto the trunk-input grid (the paper's 1x20x80x300 output).
+// Telemetry (ego kinematics) conditions the queue entry via a small
+// projection.
+func TemporalFusion(cfg Config) *dnn.Graph {
+	g := dnn.NewGraph("t_fuse")
+	tokens := cfg.GridCells()
+	d := cfg.DTemporal
+
+	// Queue entry: project the current spatial fusion output to the
+	// temporal width, plus the telemetry conditioning vector.
+	entry := g.Add(dnn.NewLinear("T_entry_proj", tokens, cfg.DModel, d))
+	telem := g.Add(dnn.NewLinear("T_telemetry", 1, 64, d))
+	cond := g.Add(dnn.NewEltwise("T_entry_cond", tensor.Shape{tokens, d}, 1), entry, telem)
+
+	last := attnBlock(g, "T", cond, cfg.TemporalFrames, tokens, d, cfg.FFNMult*d, cfg.AttnWindow)
+	merge := g.Add(dnn.NewEltwise("T_merge", tensor.Shape{tokens, d}, cfg.TemporalFrames), last)
+	g.Add(dnn.NewResize("T_pool_trunkgrid",
+		tensor.NCHW(1, d, cfg.GridH, cfg.GridW), cfg.TrunkGridH(), cfg.TrunkGridW()), merge)
+	g.Tag("T_FUSE")
+	return g
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/dnn"
+)
+
+// Stage is one perception-pipeline stage: one or more model graphs, each
+// possibly replicated into concurrent instances (the FE+BFPN stage runs
+// one instance per camera).
+type Stage struct {
+	Name     string
+	Graphs   []*dnn.Graph
+	Replicas int // concurrent instances of EACH graph (>= 1)
+}
+
+// Models returns the total concurrent model-instance count.
+func (s Stage) Models() int { return len(s.Graphs) * s.Replicas }
+
+// MACs returns the stage's total MAC count across all instances.
+func (s Stage) MACs() int64 {
+	var m int64
+	for _, g := range s.Graphs {
+		m += g.Summarize().MACs
+	}
+	return m * int64(s.Replicas)
+}
+
+// Layers returns the stage's total layer count across graphs (one
+// replica).
+func (s Stage) Layers() int {
+	n := 0
+	for _, g := range s.Graphs {
+		n += g.Len()
+	}
+	return n
+}
+
+// Pipeline is the four-stage perception workload.
+type Pipeline struct {
+	Config Config
+	Stages []Stage
+}
+
+// StageFE etc. index Pipeline.Stages.
+const (
+	StageFE = iota
+	StageSFuse
+	StageTFuse
+	StageTrunks
+)
+
+// Perception assembles the paper's four-stage pipeline for the given
+// configuration.
+func Perception(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		Config: cfg,
+		Stages: []Stage{
+			{Name: "FE+BFPN", Graphs: []*dnn.Graph{FEBFPN(cfg)}, Replicas: int(cfg.Cameras)},
+			{Name: "S_FUSE", Graphs: []*dnn.Graph{SpatialFusion(cfg)}, Replicas: 1},
+			{Name: "T_FUSE", Graphs: []*dnn.Graph{TemporalFusion(cfg)}, Replicas: 1},
+			{Name: "Trunks", Graphs: Trunks(cfg), Replicas: 1},
+		},
+	}
+	for _, s := range p.Stages {
+		for _, g := range s.Graphs {
+			if err := g.Verify(); err != nil {
+				return nil, fmt.Errorf("workloads: stage %s: %w", s.Name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustPerception is Perception, panicking on configuration errors; for
+// use with DefaultConfig-derived configs in examples and benchmarks.
+func MustPerception(cfg Config) *Pipeline {
+	p, err := Perception(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TotalMACs returns the whole-pipeline MAC count per frame.
+func (p *Pipeline) TotalMACs() int64 {
+	var m int64
+	for _, s := range p.Stages {
+		m += s.MACs()
+	}
+	return m
+}
+
+// FirstThreeStages returns a pipeline view containing only the FE,
+// S_FUSE and T_FUSE stages (the paper's Table II comparison scope).
+func (p *Pipeline) FirstThreeStages() *Pipeline {
+	return &Pipeline{Config: p.Config, Stages: p.Stages[:3]}
+}

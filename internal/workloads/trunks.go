@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/tensor"
+)
+
+// OccupancyTrunk builds the occupancy network: a projection from the
+// trunk grid followed by log2(OccupancyUpsample) spatial deconvolution
+// stages (kernel 4, stride 2) at constant channel width — so each stage
+// quadruples in cost with its input area, reproducing the paper's
+// Table III scaling — and a per-pixel semantics head at the final
+// resolution (continuous occupancy probability + semantics).
+func OccupancyTrunk(cfg Config) *dnn.Graph {
+	g := dnn.NewGraph("occupancy")
+	w := cfg.OccupancyWidth
+	in := tensor.NCHW(1, cfg.DTemporal, cfg.TrunkGridH(), cfg.TrunkGridW())
+
+	proj := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "ocup.proj", In: in, OutC: w, Kernel: 1,
+	}))
+	stages := int(math.Round(math.Log2(float64(cfg.OccupancyUpsample))))
+	prev := proj
+	for i := 1; i <= stages; i++ {
+		prev = g.Add(dnn.NewDeconv2D(fmt.Sprintf("ocup.deconv%d", i),
+			prev.Layer.Out, w, 4, 2, 1), prev)
+	}
+	g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+		Name: "ocup.head", In: prev.Layer.Out, OutC: 16, Kernel: 1,
+	}), prev)
+	g.Tag("OCUP_TR")
+	return g
+}
+
+// LaneTrunk builds the lane-prediction network: LaneLevels refinement
+// levels, each combining self-attention over the lane-anchor queries,
+// cross-attention from the anchors onto the full BEV feature map, and an
+// FFN; followed by three classifier predictors (the paper's three levels
+// of point predictions). LaneContext < 1 activates context-aware
+// computing: level 1 always runs dense (it selects the relevant
+// regions), while deeper levels and the classifiers process only the
+// retained fraction of anchor queries.
+func LaneTrunk(cfg Config) *dnn.Graph {
+	g := dnn.NewGraph("lane")
+	d := cfg.DModel
+	anchors := cfg.TrunkGridH() * cfg.TrunkGridW() // dense lane-anchor queries
+	bev := cfg.GridCells()                         // cross-attention key pool
+	window := cfg.LaneCrossWindow                  // attended keys per anchor
+	if window > bev {
+		window = bev
+	}
+
+	active := anchors
+	scaled := int64(math.Round(float64(anchors) * cfg.LaneContext))
+	if scaled < 1 {
+		scaled = 1
+	}
+
+	entry := g.Add(dnn.NewLinear("lane.entry", anchors, cfg.DTemporal, d))
+	prev := entry
+	for lvl := int64(1); lvl <= cfg.LaneLevels; lvl++ {
+		if lvl > 1 {
+			active = scaled // context gating applies beyond level 1
+		}
+		p := fmt.Sprintf("lane.l%d", lvl)
+		// Self-attention over anchors (full pairwise).
+		qkv := g.Add(dnn.NewLinear(p+".self_qkv", active, d, 3*d), prev)
+		sl := g.Add(dnn.NewMatMul(p+".self_logits", 1, active, d, active), qkv)
+		ssm := g.Add(dnn.NewSoftmax(p+".self_softmax", 1, active, active), sl)
+		sav := g.Add(dnn.NewMatMul(p+".self_av", 1, active, active, d), ssm)
+		// Cross-attention onto the BEV features. The K/V projection
+		// covers the full BEV map (context-independent); the logits and
+		// weighted sum are windowed per anchor.
+		ckv := g.Add(dnn.NewLinear(p+".cross_kv", bev, cfg.DTemporal, 2*d), sav)
+		cl := g.Add(dnn.NewMatMul(p+".cross_logits", 1, active, d, window), ckv)
+		csm := g.Add(dnn.NewSoftmax(p+".cross_softmax", 1, active, window), cl)
+		cav := g.Add(dnn.NewMatMul(p+".cross_av", 1, active, window, d), csm)
+		// FFN.
+		f1 := g.Add(dnn.NewLinear(p+".ffn1", active, d, cfg.FFNMult*d), cav)
+		prev = g.Add(dnn.NewLinear(p+".ffn2", active, cfg.FFNMult*d, d), f1)
+	}
+	for i := int64(1); i <= 3; i++ {
+		g.Add(dnn.NewLinear(fmt.Sprintf("lane.cls%d", i), scaled, d, 64), prev)
+	}
+	g.Tag("LANE_TR")
+	return g
+}
+
+// DetectionTrunk builds one detector head (traffic / vehicle /
+// pedestrian): separate class and box prediction networks, each a
+// sequence of three 3x3 convolutions over the trunk grid followed by a
+// per-anchor fully connected predictor.
+func DetectionTrunk(cfg Config, kind string) *dnn.Graph {
+	g := dnn.NewGraph("det_" + kind)
+	d := cfg.DModel
+	in := tensor.NCHW(1, cfg.DTemporal, cfg.TrunkGridH(), cfg.TrunkGridW())
+	cells := cfg.TrunkGridH() * cfg.TrunkGridW()
+
+	for _, net := range []string{"cls", "box"} {
+		prev := g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+			Name: fmt.Sprintf("det.%s.%s.conv1", kind, net), In: in, OutC: d,
+			Kernel: 3, Stride: 1, Pad: 1, FusedOps: 1,
+		}))
+		for i := 2; i <= 3; i++ {
+			prev = g.Add(dnn.NewConv2D(dnn.Conv2DSpec{
+				Name: fmt.Sprintf("det.%s.%s.conv%d", kind, net, i), In: prev.Layer.Out,
+				OutC: d, Kernel: 3, Stride: 1, Pad: 1, FusedOps: 1,
+			}), prev)
+		}
+		outF := int64(32) // anchors x (classes | box coords)
+		g.Add(dnn.NewLinear(fmt.Sprintf("det.%s.%s.fc", kind, net), cells, d, outF), prev)
+	}
+	g.Tag("DET_TR")
+	return g
+}
+
+// Trunks returns the full stage-4 model set: the occupancy network, the
+// lane-prediction trunk, and DetectionHeads detector heads.
+func Trunks(cfg Config) []*dnn.Graph {
+	kinds := []string{"traffic", "vehicle", "pedestrian", "cyclist", "generic"}
+	out := []*dnn.Graph{OccupancyTrunk(cfg), LaneTrunk(cfg)}
+	for i := int64(0); i < cfg.DetectionHeads && i < int64(len(kinds)); i++ {
+		out = append(out, DetectionTrunk(cfg, kinds[i]))
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package workloads
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Cameras = 0 },
+		func(c *Config) { c.InputH = 0 },
+		func(c *Config) { c.FEWidth = 4 },
+		func(c *Config) { c.GridH = 5 },
+		func(c *Config) { c.DModel = 0 },
+		func(c *Config) { c.FFNMult = 0 },
+		func(c *Config) { c.AttnWindow = 0 },
+		func(c *Config) { c.TemporalFrames = 0 },
+		func(c *Config) { c.OccupancyUpsample = 3 },
+		func(c *Config) { c.OccupancyWidth = 0 },
+		func(c *Config) { c.LaneLevels = 0 },
+		func(c *Config) { c.LaneCrossWindow = 0 },
+		func(c *Config) { c.LaneContext = 0 },
+		func(c *Config) { c.LaneContext = 1.5 },
+		func(c *Config) { c.DetectionHeads = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestFEBFPNStructure(t *testing.T) {
+	g := FEBFPN(DefaultConfig())
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Summarize()
+	// The paper's stage-1 workload is tens of GMACs per camera.
+	if s.MACs < 20e9 || s.MACs > 60e9 {
+		t.Errorf("FE+BFPN MACs = %.1fG, expected 20-60G", float64(s.MACs)/1e9)
+	}
+	// Output head must land on the fusion token grid.
+	last := g.Nodes()[g.Len()-1].Layer
+	cfg := DefaultConfig()
+	if last.Out.H() != cfg.GridH || last.Out.W() != cfg.GridW {
+		t.Errorf("head output %v, want %dx%d grid", last.Out, cfg.GridH, cfg.GridW)
+	}
+}
+
+func TestFEBFPNMultiscaleDims(t *testing.T) {
+	g := dnn.NewGraph("fe")
+	levels := FeatureExtractor(g, DefaultConfig())
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// The paper's multiscale features: 90x160x256, 45x80x512, 23x40x1024,
+	// 12x20x2048.
+	want := [][3]int64{{256, 90, 160}, {512, 45, 80}, {1024, 23, 40}, {2048, 12, 20}}
+	for i, lv := range levels {
+		if lv.Shape.C() != want[i][0] || lv.Shape.H() != want[i][1] || lv.Shape.W() != want[i][2] {
+			t.Errorf("level %d = %v, want %v", i, lv.Shape, want[i])
+		}
+	}
+}
+
+func TestSpatialFusionAnchors(t *testing.T) {
+	cfg := DefaultConfig()
+	g := SpatialFusion(cfg)
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	// Per-chiplet per-layer latencies from the paper: QKV 78.7, FFN
+	// blocks summing 236 ms.
+	var qkv, ffn float64
+	for _, n := range g.Nodes() {
+		c := costmodel.LayerOn(n.Layer, os)
+		switch {
+		case strings.Contains(n.Layer.Name, "QKV"):
+			qkv += c.LatencyMs
+		case strings.Contains(n.Layer.Name, "FFN"):
+			ffn += c.LatencyMs
+		}
+	}
+	if math.Abs(qkv-78.7)/78.7 > 0.05 {
+		t.Errorf("S_QKV = %.1f ms, paper 78.7", qkv)
+	}
+	if math.Abs(ffn-236)/236 > 0.05 {
+		t.Errorf("S_FFN = %.1f ms, paper 236", ffn)
+	}
+}
+
+func TestTemporalFusionAnchors(t *testing.T) {
+	cfg := DefaultConfig()
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	var qkv, ffn float64
+	for _, n := range TemporalFusion(cfg).Nodes() {
+		c := costmodel.LayerOn(n.Layer, os)
+		switch {
+		case strings.Contains(n.Layer.Name, "QKV"):
+			qkv += c.LatencyMs
+		case strings.Contains(n.Layer.Name, "FFN"):
+			ffn += c.LatencyMs
+		}
+	}
+	if math.Abs(qkv-165.6)/165.6 > 0.05 {
+		t.Errorf("T_QKV = %.1f ms, paper 165.6", qkv)
+	}
+	if math.Abs(ffn-490.2)/490.2 > 0.05 {
+		t.Errorf("T_FFN = %.1f ms, paper 490.2", ffn)
+	}
+}
+
+func TestOccupancyUpsampleScaling(t *testing.T) {
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	var prev float64
+	for _, f := range []int64{2, 4, 8, 16} {
+		cfg := DefaultConfig()
+		cfg.OccupancyUpsample = f
+		lat := costmodel.GraphOn(OccupancyTrunk(cfg), os).LatencyMs
+		if prev > 0 {
+			ratio := lat / prev
+			// Paper Table III: each doubling costs ~3-5x.
+			if ratio < 2.5 || ratio > 6 {
+				t.Errorf("upsample %dx: scaling ratio %.2f, want 2.5-6", f, ratio)
+			}
+		}
+		prev = lat
+	}
+}
+
+func TestOccupancyLastLayerDominates(t *testing.T) {
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	g := OccupancyTrunk(DefaultConfig())
+	gc := costmodel.GraphOn(g, os)
+	var last float64
+	for _, c := range gc.PerLayer {
+		if strings.Contains(c.Layer.Name, "deconv4") {
+			last = c.LatencyMs
+		}
+	}
+	frac := last / gc.LatencyMs
+	// Paper: the final upsampling layer contributes ~75%.
+	if frac < 0.6 || frac > 0.9 {
+		t.Errorf("final deconv fraction = %.2f, paper ~0.75", frac)
+	}
+}
+
+func TestLaneContextScaling(t *testing.T) {
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	var lats []float64
+	for _, ctx := range []float64{1.0, 0.6, 0.1} {
+		cfg := DefaultConfig()
+		cfg.LaneContext = ctx
+		lats = append(lats, costmodel.GraphOn(LaneTrunk(cfg), os).LatencyMs)
+	}
+	if !(lats[0] > lats[1] && lats[1] > lats[2]) {
+		t.Fatalf("lane latency must fall with context: %v", lats)
+	}
+	// Paper Fig 11: full context exceeds the 82 ms pipeline threshold;
+	// ~60% context satisfies it.
+	if lats[0] <= 82 {
+		t.Errorf("full-context lane %.1f ms should exceed 82 ms", lats[0])
+	}
+	if lats[1] > 82 {
+		t.Errorf("60%%-context lane %.1f ms should satisfy 82 ms", lats[1])
+	}
+}
+
+func TestDetectionTrunkStructure(t *testing.T) {
+	g := DetectionTrunk(DefaultConfig(), "vehicle")
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	var convs, fcs int
+	for _, n := range g.Nodes() {
+		switch n.Layer.Kind {
+		case dnn.KindConv2D:
+			convs++
+		case dnn.KindLinear:
+			fcs++
+		}
+	}
+	// Two networks (class, box), each 3 convs + 1 FC.
+	if convs != 6 || fcs != 2 {
+		t.Errorf("det trunk: %d convs %d fcs, want 6 and 2", convs, fcs)
+	}
+}
+
+func TestTrunksSet(t *testing.T) {
+	ts := Trunks(DefaultConfig())
+	if len(ts) != 5 { // occupancy + lane + 3 detectors
+		t.Fatalf("trunks = %d", len(ts))
+	}
+	for _, g := range ts {
+		if err := g.Verify(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestPerceptionPipeline(t *testing.T) {
+	p, err := Perception(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages) != 4 {
+		t.Fatalf("stages = %d", len(p.Stages))
+	}
+	if p.Stages[StageFE].Replicas != 8 {
+		t.Errorf("FE replicas = %d", p.Stages[StageFE].Replicas)
+	}
+	if p.Stages[StageFE].Models() != 8 || p.Stages[StageTrunks].Models() != 5 {
+		t.Errorf("model counts: FE %d trunks %d",
+			p.Stages[StageFE].Models(), p.Stages[StageTrunks].Models())
+	}
+	if p.TotalMACs() < 400e9 {
+		t.Errorf("pipeline MACs = %.0fG, expected >400G", float64(p.TotalMACs())/1e9)
+	}
+	if got := len(p.FirstThreeStages().Stages); got != 3 {
+		t.Errorf("FirstThreeStages = %d", got)
+	}
+}
+
+func TestPerceptionRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cameras = 0
+	if _, err := Perception(cfg); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestFusionBottleneckShares(t *testing.T) {
+	// Paper III-A: S_FUSE is 25-28% and T_FUSE 52-54% of the overall
+	// perception-module latency (single-chiplet serial execution,
+	// first 3 stages; FE counted once per the paper's Fig 3 note then
+	// scaled by 8).
+	cfg := DefaultConfig()
+	os := costmodel.SimbaChiplet(dataflow.OS)
+	fe := costmodel.GraphOn(FEBFPN(cfg), os).LatencyMs * float64(cfg.Cameras)
+	sf := costmodel.GraphOn(SpatialFusion(cfg), os).LatencyMs
+	tf := costmodel.GraphOn(TemporalFusion(cfg), os).LatencyMs
+	total := fe + sf + tf
+	sShare, tShare := sf/total, tf/total
+	if sShare < 0.15 || sShare > 0.35 {
+		t.Errorf("S_FUSE share = %.2f, paper 0.25-0.28", sShare)
+	}
+	if tShare < 0.35 || tShare > 0.60 {
+		t.Errorf("T_FUSE share = %.2f, paper 0.52-0.54", tShare)
+	}
+}
+
+// Property: lane-trunk MACs are monotone in retained context.
+func TestLaneMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		c1 := float64(a%100+1) / 100
+		c2 := float64(b%100+1) / 100
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		cfgA := DefaultConfig()
+		cfgA.LaneContext = c1
+		cfgB := DefaultConfig()
+		cfgB.LaneContext = c2
+		return LaneTrunk(cfgA).Summarize().MACs <= LaneTrunk(cfgB).Summarize().MACs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pipeline MACs scale linearly with camera count in stage 1.
+func TestCameraScalingProperty(t *testing.T) {
+	base := DefaultConfig()
+	p1 := MustPerception(base)
+	f := func(n uint8) bool {
+		cams := int64(n)%8 + 1
+		cfg := base
+		cfg.Cameras = cams
+		p := MustPerception(cfg)
+		perCam := p.Stages[StageFE].MACs() / cams
+		perCam8 := p1.Stages[StageFE].MACs() / 8
+		return perCam == perCam8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
