@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build fmt vet test bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# fmt fails (and lists the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench is a smoke run: every benchmark once, no timing statistics —
+# it exists to prove the experiment harnesses still execute end-to-end.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+# check is the tier-1 gate: build + format + vet + tests + bench smoke.
+check: build fmt vet test bench

@@ -6,21 +6,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"reflect"
 	"sync"
 	"testing"
 
+	"mcmnpu/internal/dse"
 	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/pipeline"
 	"mcmnpu/internal/sim"
+	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/trace"
 	"mcmnpu/internal/workloads"
 )
 
 var printOnce sync.Map
 
+// printTable renders each experiment's table at most once per run, and
+// only under -v (or -test.v): CI log parsers see clean benchmark lines
+// by default, while `go test -bench=. -v` keeps the paper-vs-measured
+// tables.
 func printTable(key string, render func()) {
+	if !testing.Verbose() {
+		return
+	}
 	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
 		render()
 	}
@@ -242,6 +253,80 @@ func BenchmarkAblationNoPSensitivity(b *testing.B) {
 		experiments.NoPSensitivityTable(rows).Render(os.Stdout)
 		fmt.Println()
 	})
+}
+
+// BenchmarkDSEExploreSerial is the serial §IV-C exhaustive search over
+// the Het(2) pin (2^8 candidate masks) — the baseline the parallel
+// engine is measured against.
+func BenchmarkDSEExploreSerial(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.LaneContext = 0.6
+	trunks := workloads.Trunks(cfg)
+	var r dse.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = dse.Explore(trunks, 9, 2, 85)
+	}
+	b.StopTimer()
+	printTable("dse-serial", func() {
+		fmt.Printf("serial DSE: %d combos, best EDP %.2f\n\n", r.Combos, r.EDP)
+	})
+}
+
+// BenchmarkDSEExploreParallel fans the same search across NumCPU
+// workers. The reduce is deterministic, so the result is asserted
+// bit-for-bit against the serial baseline; the ns/op ratio against
+// BenchmarkDSEExploreSerial is the engine's speedup (~linear up to the
+// candidate count on multi-core hosts).
+func BenchmarkDSEExploreParallel(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	cfg.LaneContext = 0.6
+	trunks := workloads.Trunks(cfg)
+	want := dse.Explore(trunks, 9, 2, 85)
+	eng := sweep.New(0)
+	ctx := context.Background()
+	var r dse.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = eng.Explore(ctx, trunks, 9, 2, 85)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !reflect.DeepEqual(r, want) {
+		b.Fatalf("parallel result diverged from serial:\n got %+v\nwant %+v", r, want)
+	}
+	printTable("dse-parallel", func() {
+		fmt.Printf("parallel DSE (%d workers): %d combos, best EDP %.2f\n\n",
+			eng.Workers(), r.Combos, r.EDP)
+	})
+}
+
+// BenchmarkSweepGridSerial runs the default experiment grid one
+// scenario at a time.
+func BenchmarkSweepGridSerial(b *testing.B) {
+	benchmarkSweepGrid(b, sweep.New(1))
+}
+
+// BenchmarkSweepGridParallel runs the same grid across NumCPU workers.
+func BenchmarkSweepGridParallel(b *testing.B) {
+	benchmarkSweepGrid(b, sweep.New(0))
+}
+
+func benchmarkSweepGrid(b *testing.B, eng *sweep.Engine) {
+	cfg := workloads.DefaultConfig()
+	scenarios := eng.DefaultGrid()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.RunGrid(ctx, cfg, scenarios) {
+			if r.Err != nil {
+				b.Fatalf("scenario %s: %v", r.Scenario, r.Err)
+			}
+		}
+	}
 }
 
 // BenchmarkSchedulerOnly isolates Algorithm 1's own runtime (the paper

@@ -1,0 +1,122 @@
+// Command sweep drives the parallel execution engine: a worker-pool
+// design-space exploration (the paper's Table I search, fanned across
+// cores with a reduce identical to the serial scan) and a concurrent
+// multi-scenario experiment grid (camera count, temporal depth, NoP
+// bandwidth, mesh size, scheduler tolerance, DSE Lcstr). Reports render
+// as aligned text tables or JSON via internal/report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker count (0 = NumCPU)")
+	dseFlag := flag.Bool("dse", false, "parallel Table I design-space exploration")
+	grid := flag.Bool("grid", false, "concurrent multi-scenario experiment grid")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario filter for -grid (default: all)")
+	lcstr := flag.Float64("lcstr", 85, "latency constraint for -dse (ms)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	flag.Parse()
+
+	if !*dseFlag && !*grid {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	eng := sweep.New(*workers)
+	cfg := workloads.DefaultConfig()
+
+	if *dseFlag {
+		start := time.Now()
+		r, err := eng.TableIParallel(ctx, cfg, *lcstr)
+		fail(err)
+		emit(r.Table(), *jsonOut)
+		if !*jsonOut {
+			fmt.Printf("(%d workers, %s)\n\n", eng.Workers(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *grid {
+		all := eng.DefaultGrid()
+		selected := filterScenarios(all, *scenarios)
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "no scenario matches %q (have: %s)\n",
+				*scenarios, strings.Join(scenarioNames(all), ", "))
+			os.Exit(2)
+		}
+		results := eng.RunGrid(ctx, cfg, selected)
+		exit := 0
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "scenario %s: %v\n", r.Scenario, r.Err)
+				exit = 1
+				continue
+			}
+			emit(r.Table, *jsonOut)
+			if !*jsonOut {
+				fmt.Printf("(scenario %s: %.1f ms)\n\n", r.Scenario, r.ElapsedMs)
+			}
+		}
+		os.Exit(exit)
+	}
+}
+
+func filterScenarios(all []sweep.Scenario, filter string) []sweep.Scenario {
+	if filter == "" {
+		return all
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(filter, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	var out []sweep.Scenario
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func scenarioNames(all []sweep.Scenario) []string {
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func emit(t *report.Table, asJSON bool) {
+	if asJSON {
+		fmt.Println(t.JSON())
+		return
+	}
+	t.Render(os.Stdout)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

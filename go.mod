@@ -1,0 +1,3 @@
+module mcmnpu
+
+go 1.24

@@ -82,53 +82,102 @@ type Result struct {
 	Combos    int      // configurations enumerated
 }
 
+// Space is a prepared exploration space: the nets of a trunk quadrant
+// plus the OS/WS accelerator models and the latency constraint. All
+// fields are immutable after NewSpace, and Evaluate touches only local
+// state, so one Space may be shared by concurrent goroutines (the
+// internal/sweep engine relies on this).
+type Space struct {
+	Nets     []Net
+	Chiplets int
+	LcstrMs  float64
+
+	osAccel *costmodel.Accel
+	wsAccel *costmodel.Accel
+}
+
+// NewSpace prepares the exploration space for a pool of `chiplets`
+// accelerators under the latency constraint lcstrMs.
+func NewSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64) *Space {
+	return &Space{
+		Nets:     NetsOf(trunks),
+		Chiplets: chiplets,
+		LcstrMs:  lcstrMs,
+		osAccel:  costmodel.SimbaChiplet(dataflow.OS),
+		wsAccel:  costmodel.SimbaChiplet(dataflow.WS),
+	}
+}
+
+// Candidates returns the WS-subset masks genuinely worth evaluating for
+// a given wsCount. The pinned cases collapse to a single candidate:
+// wsCount == 0 forces every net onto OS (mask 0), and wsCount ==
+// Chiplets forces every net onto WS (the full mask) — enumerating the
+// other 2^n-1 masks would only skip them one by one. Otherwise every
+// subset of nets is a candidate (2^n; n <= ~10).
+func (s *Space) Candidates(wsCount int) []int {
+	n := len(s.Nets)
+	switch {
+	case wsCount == 0:
+		return []int{0}
+	case wsCount == s.Chiplets:
+		return []int{1<<n - 1}
+	default:
+		masks := make([]int, 1<<n)
+		for i := range masks {
+			masks[i] = i
+		}
+		return masks
+	}
+}
+
+// Evaluate scores one candidate mask. It is pure and goroutine-safe:
+// the Space is read-only and all working state is local. Returns nil
+// for infeasible packings (a style with assigned layers but no
+// chiplets).
+func (s *Space) Evaluate(wsCount, mask int) *Result {
+	return evaluate(s.Nets, mask, s.Chiplets-wsCount, wsCount, s.osAccel, s.wsAccel, s.LcstrMs)
+}
+
 // Explore exhaustively searches the style assignment of nets for a pool
 // of `chiplets` accelerators of which wsCount are WS, under the latency
 // constraint lcstrMs (with the scheduler's 5% tolerance). It returns the
 // best-scoring configuration.
 func Explore(trunks []*dnn.Graph, chiplets, wsCount int, lcstrMs float64) Result {
-	nets := NetsOf(trunks)
-	osAccel := costmodel.SimbaChiplet(dataflow.OS)
-	wsAccel := costmodel.SimbaChiplet(dataflow.WS)
+	s := NewSpace(trunks, chiplets, lcstrMs)
+	candidates := s.Candidates(wsCount)
 
 	best := Result{Name: configName(wsCount), WSCount: wsCount, EDP: math.Inf(1)}
-	combos := 0
-
-	// Enumerate every subset of nets on WS (2^n; n <= ~10). Forced
-	// cases: wsCount == 0 pins everything OS; wsCount == chiplets pins
-	// everything WS.
-	n := len(nets)
-	for mask := 0; mask < 1<<n; mask++ {
-		if wsCount == 0 && mask != 0 {
-			break // only mask 0 valid
-		}
-		if wsCount == chiplets && mask != (1<<n)-1 {
-			continue // all nets must be on WS
-		}
-		combos++
-		r := evaluate(nets, mask, chiplets-wsCount, wsCount, osAccel, wsAccel, lcstrMs)
+	for _, mask := range candidates {
+		r := s.Evaluate(wsCount, mask)
 		if r == nil {
 			continue
 		}
-		if betterResult(*r, best) {
+		if Better(*r, best) {
 			best = *r
 			best.WSCount = wsCount
 			best.Name = configName(wsCount)
 		}
 	}
-	best.Combos = combos
+	best.Combos = len(candidates)
 	return best
 }
 
-// betterResult prefers feasible configurations, then lower EDP.
-func betterResult(a, b Result) bool {
+// Better reports whether a beats b: feasible configurations first, then
+// strictly lower EDP. It is strict — among ties the incumbent wins,
+// which is what makes the serial scan (and any reduce that re-applies
+// it in candidate order) deterministic.
+func Better(a, b Result) bool {
 	if a.Feasible != b.Feasible {
 		return a.Feasible
 	}
 	return a.EDP < b.EDP
 }
 
-func configName(wsCount int) string {
+func configName(wsCount int) string { return ConfigName(wsCount) }
+
+// ConfigName is the Table I row name for a wsCount pin (OS / Het(k);
+// the all-WS row is renamed "WS" by TableI).
+func ConfigName(wsCount int) string {
 	switch wsCount {
 	case 0:
 		return "OS"
@@ -247,13 +296,22 @@ type TableIRow struct {
 // TableI runs the paper's Table I: OS-only, WS-only, Het(2) and Het(4)
 // on the 9-chiplet trunks quadrant with Lcstr = 85 ms.
 func TableI(trunks []*dnn.Graph, lcstrMs float64) []TableIRow {
-	osr := Explore(trunks, 9, 0, lcstrMs)
-	rows := []TableIRow{{Result: osr}}
-	for _, r := range []Result{
+	return TableIRows([]Result{
+		Explore(trunks, 9, 0, lcstrMs),
 		WSOnly(trunks, 9, lcstrMs),
 		Explore(trunks, 9, 2, lcstrMs),
 		Explore(trunks, 9, 4, lcstrMs),
-	} {
+	})
+}
+
+// TableIRows pairs each result with its deltas against results[0] (the
+// OS-only reference row, which carries no deltas). Shared by the serial
+// TableI above and the parallel sweep engine, so the two tables can
+// never drift apart in formatting.
+func TableIRows(results []Result) []TableIRow {
+	osr := results[0]
+	rows := []TableIRow{{Result: osr}}
+	for _, r := range results[1:] {
 		rows = append(rows, TableIRow{
 			Result:         r,
 			DeltaE2EPct:    pct(r.E2EMs, osr.E2EMs),

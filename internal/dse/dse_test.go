@@ -106,6 +106,47 @@ func TestExhaustiveSearchSize(t *testing.T) {
 	}
 }
 
+func TestPinnedCandidatesCollapse(t *testing.T) {
+	s := NewSpace(workloads.Trunks(trunkCfg()), 9, 85)
+	n := len(s.Nets)
+	if got := s.Candidates(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("wsCount=0 candidates = %v, want [0]", got)
+	}
+	if got := s.Candidates(9); len(got) != 1 || got[0] != 1<<n-1 {
+		t.Errorf("wsCount=chiplets candidates = %v, want [%d]", got, 1<<n-1)
+	}
+	if got := s.Candidates(2); len(got) != 1<<n {
+		t.Errorf("wsCount=2 candidates = %d, want 2^%d", len(got), n)
+	}
+	// The pins count only the single genuinely evaluated configuration.
+	if r := WSOnly(workloads.Trunks(trunkCfg()), 9, 85); r.Combos != 1 {
+		t.Errorf("all-WS pin combos = %d, want 1", r.Combos)
+	}
+}
+
+func TestSpaceEvaluateMatchesExplore(t *testing.T) {
+	trunks := workloads.Trunks(trunkCfg())
+	s := NewSpace(trunks, 9, 85)
+	want := Explore(trunks, 9, 2, 85)
+	// Re-run the scan through the public Space API.
+	var best *Result
+	for _, mask := range s.Candidates(2) {
+		r := s.Evaluate(2, mask)
+		if r == nil {
+			continue
+		}
+		if best == nil || Better(*r, *best) {
+			best = r
+		}
+	}
+	if best == nil {
+		t.Fatal("no feasible packing found")
+	}
+	if best.EDP != want.EDP || best.Feasible != want.Feasible || best.E2EMs != want.E2EMs {
+		t.Errorf("Space scan best %+v != Explore %+v", best, want)
+	}
+}
+
 func TestTighterConstraintReducesFeasibility(t *testing.T) {
 	loose := Explore(workloads.Trunks(trunkCfg()), 9, 2, 85)
 	tight := Explore(workloads.Trunks(trunkCfg()), 9, 2, 5)

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// Scenario sweeps beyond the paper's figures: sensor-suite and package
+// scaling. They answer "what if the vehicle had more cameras" and "what
+// if the package meshed more/fewer chiplets" — the two axes the paper
+// fixes at 8 cameras and 6x6.
+
+// CameraSweepRow is one sensor-suite point: the full pipeline scheduled
+// on the 6x6 package with a different installed camera count.
+type CameraSweepRow struct {
+	Cameras   int64
+	E2EMs     float64
+	PipeLatMs float64
+	EnergyJ   float64
+	UtilPct   float64
+}
+
+// DefaultCameraCounts brackets the paper's 8-camera suite.
+var DefaultCameraCounts = []int64{4, 6, 8, 12}
+
+// CameraSweep schedules the pipeline for each camera count (nil uses
+// DefaultCameraCounts). The FE stage carries one backbone replica per
+// camera, so the sweep stresses the throughput matcher's sharding.
+func CameraSweep(cfg workloads.Config, counts []int64) ([]CameraSweepRow, error) {
+	if len(counts) == 0 {
+		counts = DefaultCameraCounts
+	}
+	var rows []CameraSweepRow
+	for _, n := range counts {
+		c := cfg
+		c.Cameras = n
+		p, err := workloads.Perception(c)
+		if err != nil {
+			return nil, fmt.Errorf("cameras=%d: %w", n, err)
+		}
+		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("cameras=%d: %w", n, err)
+		}
+		m := pipeline.Compute(s, pipeline.Layerwise)
+		rows = append(rows, CameraSweepRow{
+			Cameras:   n,
+			E2EMs:     m.E2EMs,
+			PipeLatMs: m.PipeLatMs,
+			EnergyJ:   m.EnergyJ,
+			UtilPct:   m.UtilPct,
+		})
+	}
+	return rows, nil
+}
+
+// CameraSweepTable renders the sensor-suite sweep.
+func CameraSweepTable(rows []CameraSweepRow) *report.Table {
+	t := report.NewTable("Scenario — camera count (6x6 MCM, full pipeline)",
+		"Cameras", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "Utilization(%)")
+	for _, r := range rows {
+		t.AddRow(r.Cameras, r.E2EMs, r.PipeLatMs, r.EnergyJ, r.UtilPct)
+	}
+	return t
+}
+
+// MeshSweepRow is one package-size point: the full pipeline on a k x k
+// mesh of 256-PE chiplets. Sizes whose schedule cannot be built (the
+// stage pools run out of capacity) are reported infeasible rather than
+// failing the sweep.
+type MeshSweepRow struct {
+	Mesh      string
+	Chiplets  int
+	PipeLatMs float64
+	EnergyJ   float64
+	UtilPct   float64
+	Feasible  bool
+	Reason    string
+}
+
+// DefaultMeshSizes brackets the paper's 6x6 package.
+var DefaultMeshSizes = []int{4, 6, 8, 12}
+
+// MeshSweep schedules the pipeline on square k x k meshes (nil uses
+// DefaultMeshSizes; k=6 reproduces Simba36, k=12 is a four-NPU bound).
+func MeshSweep(cfg workloads.Config, sizes []int) ([]MeshSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultMeshSizes
+	}
+	var rows []MeshSweepRow
+	for _, k := range sizes {
+		m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
+			func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(dataflow.OS) })
+		if err != nil {
+			return nil, err
+		}
+		row := MeshSweepRow{Mesh: fmt.Sprintf("%dx%d", k, k), Chiplets: m.Chiplets()}
+		p, err := workloads.Perception(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.Build(p, m, sched.DefaultOptions())
+		if err != nil {
+			row.Reason = err.Error()
+			rows = append(rows, row)
+			continue
+		}
+		mt := pipeline.Compute(s, pipeline.Layerwise)
+		row.PipeLatMs = mt.PipeLatMs
+		row.EnergyJ = mt.EnergyJ
+		row.UtilPct = mt.UtilPct
+		row.Feasible = true
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MeshSweepTable renders the package-size sweep.
+func MeshSweepTable(rows []MeshSweepRow) *report.Table {
+	t := report.NewTable("Scenario — mesh size (256-PE chiplets, full pipeline, OS)",
+		"Mesh", "Chiplets", "Pipe Lat(ms)", "Energy(J)", "Utilization(%)", "Feasible")
+	for _, r := range rows {
+		cell := fmt.Sprintf("%v", r.Feasible)
+		if !r.Feasible && r.Reason != "" {
+			cell = "no: " + r.Reason
+		}
+		t.AddRow(r.Mesh, r.Chiplets, r.PipeLatMs, r.EnergyJ, r.UtilPct, cell)
+	}
+	return t
+}

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -119,6 +120,29 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 		}
 	}
 	b.WriteByte('\n')
+}
+
+// JSON renders the table as a JSON object: {"title", "headers",
+// "rows"} with rows as arrays of (formatted) cell strings. Cells keep
+// the same formatting as the text renderer so the two outputs agree.
+func (t *Table) JSON() string {
+	headers := t.Headers
+	if headers == nil {
+		headers = []string{}
+	}
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	b, err := json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, headers, rows})
+	if err != nil { // strings-only payload: cannot happen
+		panic(err)
+	}
+	return string(b)
 }
 
 // Markdown renders the table as a GitHub-flavored markdown table.

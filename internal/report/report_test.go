@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,37 @@ func TestMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(md, "| --- | --- |") {
 		t.Error("markdown separator missing")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var v struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sample().JSON()), &v); err != nil {
+		t.Fatalf("JSON() is not valid JSON: %v", err)
+	}
+	if v.Title != "Title" {
+		t.Errorf("title = %q", v.Title)
+	}
+	if len(v.Headers) != 2 || v.Headers[0] != "Name" {
+		t.Errorf("headers = %v", v.Headers)
+	}
+	if len(v.Rows) != 3 || v.Rows[2][1] != `x"y` {
+		t.Errorf("rows = %v", v.Rows)
+	}
+	// Cells must match the text renderer's formatting.
+	if v.Rows[0][1] != "1.5" {
+		t.Errorf("formatted cell = %q, want 1.5", v.Rows[0][1])
+	}
+}
+
+func TestJSONEmptyTable(t *testing.T) {
+	out := NewTable("t", "h").JSON()
+	if !strings.Contains(out, `"rows":[]`) {
+		t.Errorf("empty table should serialize rows as []:\n%s", out)
 	}
 }
 

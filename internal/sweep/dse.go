@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"context"
+	"math"
+
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/dse"
+)
+
+// Explore is the parallel counterpart of dse.Explore: it fans the
+// candidate masks of one (chiplets, wsCount) pin across the engine's
+// workers and reduces to the same best configuration as the serial
+// scan, bit-for-bit, regardless of worker count or completion order.
+//
+// Determinism: dse.Better is strict, so the serial scan keeps the
+// earliest candidate among ties. Workers record each candidate's index;
+// the reduce re-applies dse.Better in index order by preferring the
+// lower index whenever neither result beats the other.
+func (e *Engine) Explore(ctx context.Context, trunks []*dnn.Graph, chiplets, wsCount int, lcstrMs float64) (dse.Result, error) {
+	space := dse.NewSpace(trunks, chiplets, lcstrMs)
+	return e.ExploreSpace(ctx, space, wsCount)
+}
+
+// ExploreSpace runs the parallel search over a prepared space (shared,
+// read-only — see dse.Space).
+func (e *Engine) ExploreSpace(ctx context.Context, space *dse.Space, wsCount int) (dse.Result, error) {
+	candidates := space.Candidates(wsCount)
+
+	type scored struct {
+		r   *dse.Result
+		idx int
+	}
+	results, err := Map(ctx, e, len(candidates), func(i int) (scored, error) {
+		return scored{r: space.Evaluate(wsCount, candidates[i]), idx: i}, nil
+	})
+	if err != nil {
+		return dse.Result{}, err
+	}
+
+	best := dse.Result{EDP: math.Inf(1)}
+	bestIdx := len(candidates)
+	for _, s := range results {
+		if s.r == nil {
+			continue
+		}
+		switch {
+		case dse.Better(*s.r, best):
+			best, bestIdx = *s.r, s.idx
+		case !dse.Better(best, *s.r) && s.idx < bestIdx:
+			// Tie on (Feasible, EDP): the serial scan would have kept
+			// whichever candidate came first.
+			best, bestIdx = *s.r, s.idx
+		}
+	}
+	best.WSCount = wsCount
+	best.Name = dse.ConfigName(wsCount)
+	best.Combos = len(candidates)
+	return best, nil
+}
+
+// TableI is the parallel Table I: the four configuration rows (OS-only,
+// WS-only, Het(2), Het(4)) on the 9-chiplet trunks quadrant. The pins
+// run in sequence — the two non-trivial ones (Het(2), Het(4)) each fan
+// their 2^n masks across the full pool, so an outer fan-out would only
+// oversubscribe the workers. Rows and deltas come from dse.TableIRows,
+// the same builder the serial dse.TableI uses.
+func (e *Engine) TableI(ctx context.Context, trunks []*dnn.Graph, lcstrMs float64) ([]dse.TableIRow, error) {
+	space := dse.NewSpace(trunks, 9, lcstrMs)
+	wsCounts := []int{0, 9, 2, 4}
+	results := make([]dse.Result, len(wsCounts))
+	for i, ws := range wsCounts {
+		r, err := e.ExploreSpace(ctx, space, ws)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	results[1].Name = "WS"
+	return dse.TableIRows(results), nil
+}

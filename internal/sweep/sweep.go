@@ -1,0 +1,110 @@
+// Package sweep is a parallel execution engine for the repo's two
+// sweep-shaped workloads: the §IV-C design-space exploration (fanning
+// dse candidate masks across a worker pool with a deterministic reduce)
+// and the experiment grids (camera count, temporal depth, NoP
+// bandwidth, mesh size, Lcstr tolerance — each scenario an independent
+// unit of work). Workers are bounded, honor context cancellation, and
+// never outlive the call that spawned them.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Engine is a bounded worker pool. The zero value is not useful; use
+// New. An Engine is stateless between calls and safe for concurrent
+// use.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given parallelism; workers <= 0 means
+// runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the engine's parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Each runs fn(i) for every i in [0, n) across the engine's workers.
+// Indices are dispatched through a channel, so long and short items
+// interleave without static partitioning skew. The first error (or the
+// context's error, checked before each item) cancels the remaining
+// work; already-running items finish. Each blocks until all workers
+// have returned.
+func (e *Engine) Each(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) and collects the results in
+// index order. A cancelled or failed run returns the partial slice
+// (unfilled entries are zero values) alongside the error.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := e.Each(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
