@@ -16,6 +16,7 @@ import (
 	"mcmnpu/internal/dse"
 	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/sched"
 	"mcmnpu/internal/sim"
 	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/trace"
@@ -214,6 +215,40 @@ func BenchmarkDiscreteEventSim(b *testing.B) {
 		fmt.Printf("discrete-event: steady interval %.1f ms, %.1f FPS, util %.1f%%\n\n",
 			r.SteadyIntervalMs, r.ThroughputFPS, r.UtilPct)
 	})
+}
+
+// benchmarkSimEngine drives one simulator engine over a 256-frame
+// stream of the full-pipeline schedule — the scale at which the sweep
+// grids exercise the simulator.
+func benchmarkSimEngine(b *testing.B, frames int,
+	run func(*sched.Schedule, int, *trace.Generator) (sim.Result, error)) {
+	cfg := workloads.DefaultConfig()
+	_, s, err := experiments.Fig5to8(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(s, frames, gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEventDriven256 measures the event-driven engine at 256
+// frames. The ns/op ratio against BenchmarkSimGreedyReference256 is the
+// engine speedup (the acceptance bar is >= 5x; the min-heap engine
+// lands orders of magnitude beyond it at this scale).
+func BenchmarkSimEventDriven256(b *testing.B) {
+	benchmarkSimEngine(b, 256, sim.Run)
+}
+
+// BenchmarkSimGreedyReference256 measures the O(n²) greedy rescan the
+// event-driven engine replaced (kept as the differential-testing
+// reference).
+func BenchmarkSimGreedyReference256(b *testing.B) {
+	benchmarkSimEngine(b, 256, sim.RunGreedy)
 }
 
 // BenchmarkAblationDataflow measures the package-wide dataflow ablation

@@ -75,13 +75,16 @@ func modelGraph(cfg workloads.Config, name string) (*dnn.Graph, error) {
 }
 
 func profileTable(g *dnn.Graph) *report.Table {
+	// One cost-cache per profile: models repeat shapes (replicated heads,
+	// per-camera projections), so identical layers are evaluated once.
+	cache := costmodel.NewCache()
 	osA := costmodel.SimbaChiplet(dataflow.OS)
 	wsA := costmodel.SimbaChiplet(dataflow.WS)
 	t := report.NewTable("Per-layer profile: "+g.Name+" (single 256-PE chiplet)",
 		"Layer", "Kind", "MACs(M)", "OS Lat(ms)", "OS bound", "WS Lat(ms)", "OS E(mJ)", "WS E(mJ)")
 	for _, n := range g.Nodes() {
-		co := costmodel.LayerOn(n.Layer, osA)
-		cw := costmodel.LayerOn(n.Layer, wsA)
+		co := cache.LayerOn(n.Layer, osA)
+		cw := cache.LayerOn(n.Layer, wsA)
 		t.AddRow(n.Layer.Name, n.Layer.Kind.String(), float64(n.Layer.MACs())/1e6,
 			co.LatencyMs, co.Bound, cw.LatencyMs, co.EnergyJ*1e3, cw.EnergyJ*1e3)
 	}

@@ -15,6 +15,8 @@ import (
 	"strings"
 	"time"
 
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/workloads"
@@ -28,6 +30,7 @@ func main() {
 	lcstr := flag.Float64("lcstr", 85, "latency constraint for -dse (ms)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	cacheStats := flag.Bool("cachestats", false, "print layer-cost cache hit/miss stats on exit")
 	flag.Parse()
 
 	if !*dseFlag && !*grid {
@@ -77,8 +80,30 @@ func main() {
 				fmt.Printf("(scenario %s: %.1f ms)\n\n", r.Scenario, r.ElapsedMs)
 			}
 		}
+		printCacheStats(eng, *cacheStats)
 		os.Exit(exit)
 	}
+	printCacheStats(eng, *cacheStats)
+}
+
+// printCacheStats reports both caches a run can exercise: the engine's
+// (DSE explorations — -dse and the dse-lcstr scenario) and the
+// experiments package's (the other grid scenario harnesses).
+func printCacheStats(eng *sweep.Engine, enabled bool) {
+	if !enabled {
+		return
+	}
+	line := func(name string, s costmodel.CacheStats) {
+		total := s.Hits + s.Misses
+		pct := 0.0
+		if total > 0 {
+			pct = float64(s.Hits) / float64(total) * 100
+		}
+		fmt.Fprintf(os.Stderr, "%s layer-cost cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+			name, s.Hits, s.Misses, pct, s.Entries)
+	}
+	line("engine (dse)", eng.Cache().Stats())
+	line("experiments (grid)", experiments.SharedLayerCache().Stats())
 }
 
 func filterScenarios(all []sweep.Scenario, filter string) []sweep.Scenario {

@@ -1,0 +1,138 @@
+package costmodel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcmnpu/internal/dnn"
+)
+
+// layerSig captures exactly the layer fields the cost model reads:
+// operator class, loop nest, activation footprints, parameter count,
+// vector-op count and stride. Name and stage tags are deliberately
+// excluded so that replicas and derived shards ("x/shard4") of the same
+// shape hit the same entry.
+type layerSig struct {
+	kind     dnn.Kind
+	nest     dnn.LoopNest
+	inElems  int64
+	outElems int64
+	weights  int64
+	vecOps   int64
+	stride   int64
+}
+
+func sigOf(l *dnn.Layer) layerSig {
+	return layerSig{
+		kind:     l.Kind,
+		nest:     l.Nest,
+		inElems:  l.InputElems(),
+		outElems: l.OutputElems(),
+		weights:  l.WeightElems,
+		vecOps:   l.VectorOps,
+		stride:   l.Stride,
+	}
+}
+
+// accelSig is the accelerator configuration with the display name
+// cleared: two accels that differ only in Name cost layers identically,
+// so they share cache entries.
+func accelSig(a *Accel) Accel {
+	s := *a
+	s.Name = ""
+	return s
+}
+
+type cacheKey struct {
+	layer layerSig
+	accel Accel
+}
+
+// Cache memoizes LayerOn results keyed by (layer signature, accelerator
+// configuration). LayerOn is pure, so a hit returns the exact value a
+// fresh evaluation would — bit-for-bit, which keeps cached and uncached
+// sweeps deterministic relative to each other. A Cache is safe for
+// concurrent use; the zero value is not useful, use NewCache. A nil
+// *Cache is valid and simply evaluates uncached.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[cacheKey]LayerCost
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an empty layer-cost cache.
+func NewCache() *Cache { return &Cache{m: make(map[cacheKey]LayerCost)} }
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns the cache's hit/miss counters and entry count.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// LayerOn is the memoized counterpart of the package-level LayerOn.
+// The returned cost's Layer field always points at l (cache entries are
+// stored signature-keyed, not pointer-keyed).
+func (c *Cache) LayerOn(l *dnn.Layer, a *Accel) LayerCost {
+	if c == nil {
+		return LayerOn(l, a)
+	}
+	k := cacheKey{layer: sigOf(l), accel: accelSig(a)}
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		v.Layer = l
+		return v
+	}
+	c.misses.Add(1)
+	v = LayerOn(l, a)
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	v.Layer = l
+	return v
+}
+
+// ShardedLayerOn is the memoized counterpart of the package-level
+// ShardedLayerOn: the shard descriptor is derived cheaply and its cost
+// looked up by signature, so every candidate that shards a layer the
+// same way shares one evaluation.
+func (c *Cache) ShardedLayerOn(l *dnn.Layer, n int64, a *Accel) (LayerCost, error) {
+	s, err := l.Shard(n)
+	if err != nil {
+		return LayerCost{}, err
+	}
+	return c.LayerOn(s, a), nil
+}
+
+// GraphOn is the memoized counterpart of the package-level GraphOn.
+func (c *Cache) GraphOn(g *dnn.Graph, a *Accel) GraphCost {
+	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, g.Len())}
+	for _, n := range g.Nodes() {
+		gc.add(c.LayerOn(n.Layer, a))
+	}
+	return gc
+}
+
+// LayersOn is the memoized counterpart of the package-level LayersOn.
+func (c *Cache) LayersOn(layers []*dnn.Layer, a *Accel) GraphCost {
+	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, len(layers))}
+	for _, l := range layers {
+		gc.add(c.LayerOn(l, a))
+	}
+	return gc
+}

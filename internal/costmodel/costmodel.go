@@ -115,16 +115,19 @@ func SimbaChiplet(style dataflow.Style) *Accel {
 func Monolithic(name string, pes int64, style dataflow.Style) *Accel {
 	h, w := squarest(pes)
 	return &Accel{
-		Name:        name,
-		PEs:         pes,
-		ArrayH:      h,
-		ArrayW:      w,
-		Style:       style,
-		FreqGHz:     2.0,
-		GLBReadBW:   simbaGLBReadBW,
-		PsumBW:      8,
-		DRAMBW:      64,
-		GLBBytes:    int64(pes/256) * (2 << 20),
+		Name:      name,
+		PEs:       pes,
+		ArrayH:    h,
+		ArrayW:    w,
+		Style:     style,
+		FreqGHz:   2.0,
+		GLBReadBW: simbaGLBReadBW,
+		PsumBW:    8,
+		DRAMBW:    64,
+		// GLB scales with die area at one chiplet's worth (2 MiB) per 256
+		// PEs, rounded up: small dies still carry a full buffer, so a
+		// 64-PE die is not forced onto the DRAM path for every layer.
+		GLBBytes:    (pes + 255) / 256 * (2 << 20),
 		VectorLanes: 16 * maxi64(1, pes/2304),
 		Energy:      DefaultEnergy(),
 	}
@@ -285,17 +288,21 @@ func (g GraphCost) AvgUtil() float64 {
 	return weighted / g.LatencyMs
 }
 
+// add accumulates one layer's cost into the aggregate.
+func (g *GraphCost) add(c LayerCost) {
+	g.PerLayer = append(g.PerLayer, c)
+	g.LatencyMs += c.LatencyMs
+	g.EnergyJ += c.EnergyJ
+	g.MACs += c.MACs
+	g.GLBBytes += c.GLBBytes
+	g.DRAMBytes += c.DRAMBytes
+}
+
 // GraphOn evaluates every layer of g serially on a.
 func GraphOn(g *dnn.Graph, a *Accel) GraphCost {
 	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, g.Len())}
 	for _, n := range g.Nodes() {
-		c := LayerOn(n.Layer, a)
-		gc.PerLayer = append(gc.PerLayer, c)
-		gc.LatencyMs += c.LatencyMs
-		gc.EnergyJ += c.EnergyJ
-		gc.MACs += c.MACs
-		gc.GLBBytes += c.GLBBytes
-		gc.DRAMBytes += c.DRAMBytes
+		gc.add(LayerOn(n.Layer, a))
 	}
 	return gc
 }
@@ -304,13 +311,7 @@ func GraphOn(g *dnn.Graph, a *Accel) GraphCost {
 func LayersOn(layers []*dnn.Layer, a *Accel) GraphCost {
 	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, len(layers))}
 	for _, l := range layers {
-		c := LayerOn(l, a)
-		gc.PerLayer = append(gc.PerLayer, c)
-		gc.LatencyMs += c.LatencyMs
-		gc.EnergyJ += c.EnergyJ
-		gc.MACs += c.MACs
-		gc.GLBBytes += c.GLBBytes
-		gc.DRAMBytes += c.DRAMBytes
+		gc.add(LayerOn(l, a))
 	}
 	return gc
 }

@@ -46,6 +46,40 @@ func TestMonolithicPresets(t *testing.T) {
 	}
 }
 
+// Regression: integer division used to truncate GLBBytes to 0 below 256
+// PEs, forcing every layer onto the DRAM-streaming path.
+func TestMonolithicSmallDieGLBResidency(t *testing.T) {
+	cases := []struct {
+		pes  int64
+		want int64
+	}{
+		{64, 2 << 20},        // below one chiplet: still one full buffer
+		{256, 2 << 20},       // exactly one chiplet
+		{300, 2 * (2 << 20)}, // partial second chiplet rounds up
+		{512, 2 * (2 << 20)},
+	}
+	for _, c := range cases {
+		a := Monolithic("m", c.pes, dataflow.OS)
+		if a.GLBBytes != c.want {
+			t.Errorf("pes=%d: GLBBytes = %d, want %d", c.pes, a.GLBBytes, c.want)
+		}
+	}
+
+	// A layer whose weights fit a 2 MiB GLB must be weight-resident on
+	// the 64-PE die: its DRAM traffic is exactly the compulsory footprint
+	// with no per-wave refetch.
+	a := Monolithic("m64", 64, dataflow.OS)
+	small := dnn.NewLinear("small", 64, 128, 128)
+	if small.Params() > a.GLBBytes {
+		t.Fatalf("test layer no longer fits the GLB (%d > %d)", small.Params(), a.GLBBytes)
+	}
+	c := LayerOn(small, a)
+	wantCompulsory := float64(small.InputElems() + small.OutputElems() + small.Params())
+	if c.DRAMBytes != wantCompulsory {
+		t.Errorf("64-PE die: DRAM %v, want compulsory %v (weights must be resident)", c.DRAMBytes, wantCompulsory)
+	}
+}
+
 // The paper's calibration anchors: per-layer latencies of the fusion
 // stages on a single 256-PE OS chiplet. We assert within 5%.
 func TestPaperAnchors(t *testing.T) {

@@ -83,10 +83,10 @@ type Result struct {
 }
 
 // Space is a prepared exploration space: the nets of a trunk quadrant
-// plus the OS/WS accelerator models and the latency constraint. All
-// fields are immutable after NewSpace, and Evaluate touches only local
-// state, so one Space may be shared by concurrent goroutines (the
-// internal/sweep engine relies on this).
+// plus the OS/WS accelerator models and the latency constraint. The
+// configuration fields are immutable after NewSpace and the layer-cost
+// cache is internally synchronized, so one Space may be shared by
+// concurrent goroutines (the internal/sweep engine relies on this).
 type Space struct {
 	Nets     []Net
 	Chiplets int
@@ -94,17 +94,28 @@ type Space struct {
 
 	osAccel *costmodel.Accel
 	wsAccel *costmodel.Accel
+	cache   *costmodel.Cache
 }
 
 // NewSpace prepares the exploration space for a pool of `chiplets`
-// accelerators under the latency constraint lcstrMs.
+// accelerators under the latency constraint lcstrMs, with a private
+// layer-cost cache.
 func NewSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64) *Space {
+	return NewCachedSpace(trunks, chiplets, lcstrMs, costmodel.NewCache())
+}
+
+// NewCachedSpace is NewSpace with a caller-supplied layer-cost cache,
+// letting multiple spaces (e.g. the pins of a Table I run, or every
+// scenario of a sweep grid) share memoized evaluations. A nil cache
+// evaluates uncached.
+func NewCachedSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64, c *costmodel.Cache) *Space {
 	return &Space{
 		Nets:     NetsOf(trunks),
 		Chiplets: chiplets,
 		LcstrMs:  lcstrMs,
 		osAccel:  costmodel.SimbaChiplet(dataflow.OS),
 		wsAccel:  costmodel.SimbaChiplet(dataflow.WS),
+		cache:    c,
 	}
 }
 
@@ -135,7 +146,7 @@ func (s *Space) Candidates(wsCount int) []int {
 // for infeasible packings (a style with assigned layers but no
 // chiplets).
 func (s *Space) Evaluate(wsCount, mask int) *Result {
-	return evaluate(s.Nets, mask, s.Chiplets-wsCount, wsCount, s.osAccel, s.wsAccel, s.LcstrMs)
+	return evaluate(s.Nets, mask, s.Chiplets-wsCount, wsCount, s.osAccel, s.wsAccel, s.LcstrMs, s.cache)
 }
 
 // Explore exhaustively searches the style assignment of nets for a pool
@@ -189,9 +200,11 @@ func ConfigName(wsCount int) string {
 // evaluate packs the layers of each net onto its style's chiplets (LPT)
 // and scores the configuration. Returns nil when a single layer alone
 // exceeds the latency constraint on its assigned style while a
-// feasible alternative could exist (infeasible packing).
+// feasible alternative could exist (infeasible packing). Layer costs go
+// through the cache: across the 2^n masks of one exploration every
+// (layer, style) pair is evaluated exactly once.
 func evaluate(nets []Net, wsMask, osChips, wsChips int,
-	osAccel, wsAccel *costmodel.Accel, lcstrMs float64) *Result {
+	osAccel, wsAccel *costmodel.Accel, lcstrMs float64, cache *costmodel.Cache) *Result {
 
 	limit := lcstrMs * 1.05 // the scheduler's tolerance
 	type item struct {
@@ -212,7 +225,7 @@ func evaluate(nets []Net, wsMask, osChips, wsChips int,
 			wsNets = append(wsNets, net.Name)
 		}
 		for _, l := range net.Layers {
-			c := costmodel.LayerOn(l, accel)
+			c := cache.LayerOn(l, accel)
 			it := item{ms: c.LatencyMs, ej: c.EnergyJ, model: net.Model}
 			energy += c.EnergyJ
 			modelChain[net.Model] += c.LatencyMs

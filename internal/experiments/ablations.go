@@ -35,7 +35,7 @@ func DataflowAblation(cfg workloads.Config) ([]DataflowAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.Build(p, chiplet.Simba36(style), sched.DefaultOptions())
+		s, err := sched.Build(p, chiplet.Simba36(style), schedOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +96,7 @@ func NoPSensitivity(cfg workloads.Config) ([]NoPSensitivityRow, error) {
 		m := chiplet.Simba36(dataflow.OS)
 		m.NoP.LinkBWGBs = pt.bw
 		m.NoP.HopLatencyNs = pt.hop
-		s, err := sched.Build(p, m, sched.DefaultOptions())
+		s, err := sched.Build(p, m, schedOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +143,7 @@ func ToleranceSweep(cfg workloads.Config) ([]ToleranceSweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := sched.DefaultOptions()
+		opts := schedOptions()
 		opts.Tolerance = tol
 		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), opts)
 		if err != nil {
@@ -190,7 +190,7 @@ func TemporalDepthSweep(cfg workloads.Config) ([]TemporalDepthRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), schedOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,28 @@ type Fig3Result struct {
 	TFuseShare         float64
 }
 
+// layerCache memoizes single-chiplet layer costs across the figure
+// harnesses: Fig 3 and Fig 4 profile overlapping layer sets on the same
+// two accelerator configs, and repeated benchmark/grid iterations
+// re-evaluate identical shapes. Costs are pure functions of (layer
+// signature, accel config), so sharing one package-level cache changes
+// no results.
+var layerCache = costmodel.NewCache()
+
+// SharedLayerCache exposes the package-level cache so callers driving
+// the harnesses (cmd/sweep's -cachestats, future tooling) can report
+// the hit rates of the evaluations these harnesses actually memoize.
+func SharedLayerCache() *costmodel.Cache { return layerCache }
+
+// schedOptions is sched.DefaultOptions with the shared cache attached,
+// so every schedule an experiment harness builds memoizes its sharded
+// layer evaluations alongside the figure profiles.
+func schedOptions() sched.Options {
+	o := sched.DefaultOptions()
+	o.Cache = layerCache
+	return o
+}
+
 // Fig3 profiles every perception component on a single 256-PE chiplet
 // under both dataflows (the paper's Fig 3).
 func Fig3(cfg workloads.Config) Fig3Result {
@@ -56,8 +78,8 @@ func Fig3(cfg workloads.Config) Fig3Result {
 	var r Fig3Result
 	var osTot, wsTot, osE, wsE, osENoFuse, wsENoFuse float64
 	for _, c := range comps {
-		co := costmodel.GraphOn(c.g, osA)
-		cw := costmodel.GraphOn(c.g, wsA)
+		co := layerCache.GraphOn(c.g, osA)
+		cw := layerCache.GraphOn(c.g, wsA)
 		r.Components = append(r.Components, ComponentCost{
 			Component: c.name,
 			OSLatMs:   co.LatencyMs, WSLatMs: cw.LatencyMs,
@@ -124,8 +146,8 @@ func Fig4(cfg workloads.Config) []LayerAffinity {
 				if !n.Layer.Kind.ComputeBound() {
 					continue
 				}
-				co := costmodel.LayerOn(n.Layer, osA)
-				cw := costmodel.LayerOn(n.Layer, wsA)
+				co := layerCache.LayerOn(n.Layer, osA)
+				cw := layerCache.LayerOn(n.Layer, wsA)
 				out = append(out, LayerAffinity{
 					Group:      grp.name,
 					Layer:      n.Layer.Name,
@@ -168,7 +190,7 @@ func Fig5to8(cfg workloads.Config) ([]StageMapping, *sched.Schedule, error) {
 		return nil, nil, err
 	}
 	m := chiplet.Simba36(dataflow.OS)
-	s, err := sched.Build(p, m, sched.DefaultOptions())
+	s, err := sched.Build(p, m, schedOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -46,7 +46,7 @@ func CameraSweep(cfg workloads.Config, counts []int64) ([]CameraSweepRow, error)
 		if err != nil {
 			return nil, fmt.Errorf("cameras=%d: %w", n, err)
 		}
-		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), schedOptions())
 		if err != nil {
 			return nil, fmt.Errorf("cameras=%d: %w", n, err)
 		}
@@ -107,7 +107,7 @@ func MeshSweep(cfg workloads.Config, sizes []int) ([]MeshSweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.Build(p, m, sched.DefaultOptions())
+		s, err := sched.Build(p, m, schedOptions())
 		if err != nil {
 			row.Reason = err.Error()
 			rows = append(rows, row)

@@ -69,7 +69,7 @@ func Table2(cfg workloads.Config) ([]Table2Row, error) {
 	}
 	var rows []Table2Row
 	for _, a := range arrangements {
-		s, err := sched.Build(p3, a.mcm, sched.DefaultOptions())
+		s, err := sched.Build(p3, a.mcm, schedOptions())
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", a.name, err)
 		}
@@ -112,7 +112,7 @@ func Fig10(cfg workloads.Config) (Fig10Result, error) {
 	if err != nil {
 		return r, err
 	}
-	s1, err := sched.Build(single, chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+	s1, err := sched.Build(single, chiplet.Simba36(dataflow.OS), schedOptions())
 	if err != nil {
 		return r, err
 	}
@@ -127,7 +127,7 @@ func Fig10(cfg workloads.Config) (Fig10Result, error) {
 	// The paper doubles the trunks (2 x 9 chiplets) when both NPUs are
 	// active.
 	dual.Stages[workloads.StageTrunks].Replicas = 2
-	s2, err := sched.Build(dual, chiplet.DualSimba72(dataflow.OS), sched.DefaultOptions())
+	s2, err := sched.Build(dual, chiplet.DualSimba72(dataflow.OS), schedOptions())
 	if err != nil {
 		return r, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/workloads"
 )
@@ -19,6 +20,11 @@ type Options struct {
 	// BaseStage selects the stage whose pipelining latency anchors the
 	// throughput matching (the paper chooses FE+BFPN; see §IV-A).
 	BaseStage int
+	// Cache memoizes the sharded layer-cost evaluations Algorithm 1
+	// repeats across its greedy iterations (and, when shared, across
+	// the schedules of a sweep). nil evaluates uncached; results are
+	// bit-identical either way.
+	Cache *costmodel.Cache
 	// MinimizeBase, when true, keeps splitting the base stage after the
 	// other stages have matched it, as long as idle chiplets remain —
 	// the dual-NPU behaviour of Fig 10.
@@ -72,7 +78,7 @@ func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, erro
 		return nil, err
 	}
 	for i, st := range p.Stages {
-		s.Stages = append(s.Stages, newStageSchedule(i, st, pools[i], m))
+		s.Stages = append(s.Stages, newStageSchedule(i, st, pools[i], m, opts.Cache))
 	}
 	if len(pools) > len(p.Stages) {
 		// Unassigned surplus partition (e.g. the trunks quadrant in a
@@ -80,7 +86,7 @@ func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, erro
 		// borrowChiplet can raid.
 		s.Stages = append(s.Stages, &StageSchedule{
 			Name: "surplus", Index: len(p.Stages),
-			Pool: pools[len(p.Stages)], mcm: m,
+			Pool: pools[len(p.Stages)], mcm: m, cache: opts.Cache,
 		})
 	}
 	if err := s.refreshAll(); err != nil {
@@ -296,7 +302,7 @@ func (s *Schedule) relieve(ss *StageSchedule, skip map[*Unit]bool) bool {
 func (s *Schedule) applyImprovement(ss *StageSchedule, u *Unit) ([]*Unit, bool) {
 	if u.canSegment() {
 		a := s.MCM.At(ss.Pool[0])
-		first, second, err := u.segment(a)
+		first, second, err := u.segment(a, ss.cache)
 		if err != nil {
 			return nil, false
 		}

@@ -259,13 +259,13 @@ func TestMCMBeatsMonolithicThroughput(t *testing.T) {
 func TestUnitSegmentBalance(t *testing.T) {
 	p, _ := workloads.Perception(workloads.DefaultConfig())
 	st := p.Stages[workloads.StageFE]
-	ss := newStageSchedule(0, st, chiplet.Simba36(dataflow.OS).Coords()[:9], chiplet.Simba36(dataflow.OS))
+	ss := newStageSchedule(0, st, chiplet.Simba36(dataflow.OS).Coords()[:9], chiplet.Simba36(dataflow.OS), nil)
 	u := ss.Units[0]
 	a := ss.mcm.At(ss.Pool[0])
-	if err := u.evalOn(a); err != nil {
+	if err := u.evalOn(a, nil); err != nil {
 		t.Fatal(err)
 	}
-	f, sec, err := u.segment(a)
+	f, sec, err := u.segment(a, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestUnitSegmentBalance(t *testing.T) {
 func TestNextShardsDivisors(t *testing.T) {
 	p, _ := workloads.Perception(workloads.DefaultConfig())
 	ss := newStageSchedule(2, p.Stages[workloads.StageTFuse],
-		chiplet.Simba36(dataflow.OS).Coords()[:9], chiplet.Simba36(dataflow.OS))
+		chiplet.Simba36(dataflow.OS).Coords()[:9], chiplet.Simba36(dataflow.OS), nil)
 	for _, u := range ss.Units {
 		if u.Nodes[0].Layer.Name == "T_FFN_fc1" {
 			// Batch 12: divisor ladder 1 -> 2 -> 3 -> 4 -> 6 -> 12.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/dnn"
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/workloads"
@@ -27,7 +28,8 @@ type StageSchedule struct {
 	NoPEnergyJ float64
 	Transfers  []nop.Transfer
 
-	mcm *chiplet.MCM
+	mcm   *chiplet.MCM
+	cache *costmodel.Cache
 }
 
 // newStageSchedule builds the initial unit decomposition for a stage.
@@ -37,8 +39,8 @@ type StageSchedule struct {
 //   - Single-model fusion stages get one unit per layer (tiny
 //     non-compute layers fold into their predecessor unit).
 //   - Multi-model stages (trunks) get one whole-model unit per model.
-func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.MCM) *StageSchedule {
-	ss := &StageSchedule{Name: st.Name, Index: idx, Pool: append([]nop.Coord(nil), pool...), mcm: m}
+func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.MCM, cache *costmodel.Cache) *StageSchedule {
+	ss := &StageSchedule{Name: st.Name, Index: idx, Pool: append([]nop.Coord(nil), pool...), mcm: m, cache: cache}
 	switch {
 	case st.Replicas > 1:
 		for r := 0; r < st.Replicas; r++ {
@@ -83,7 +85,7 @@ func (ss *StageSchedule) refresh() error {
 		if u.Shards > int64(len(ss.Pool)) {
 			u.Shards = int64(len(ss.Pool))
 		}
-		if err := u.evalOn(ref); err != nil {
+		if err := u.evalOn(ref, ss.cache); err != nil {
 			return err
 		}
 	}
@@ -98,7 +100,7 @@ func (ss *StageSchedule) refresh() error {
 				continue
 			}
 			probe := *u
-			if err := (&probe).evalOn(a); err != nil {
+			if err := (&probe).evalOn(a, ss.cache); err != nil {
 				return err
 			}
 			worst = maxf(worst, probe.PerShardMs)

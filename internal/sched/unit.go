@@ -58,16 +58,17 @@ func (u *Unit) Label() string {
 // evalOn computes the unit's per-shard latency and total energy on the
 // given accelerator. For multi-node units the nodes run serially on one
 // chiplet; for sharded single-node units each shard holds a 1/Shards
-// slice with weights replicated.
-func (u *Unit) evalOn(a *costmodel.Accel) error {
+// slice with weights replicated. Costs go through the cache (nil is
+// valid and evaluates uncached): Algorithm 1 re-evaluates the same
+// (layer, shard count) pairs on every greedy iteration.
+func (u *Unit) evalOn(a *costmodel.Accel, cache *costmodel.Cache) error {
 	var ms, ej float64
 	var macs int64
 	for _, n := range u.Nodes {
-		shard, err := n.Layer.Shard(u.Shards)
+		c, err := cache.ShardedLayerOn(n.Layer, u.Shards, a)
 		if err != nil {
 			return fmt.Errorf("sched: unit %s: %w", u.Label(), err)
 		}
-		c := costmodel.LayerOn(shard, a)
 		ms += c.LatencyMs
 		ej += c.EnergyJ * float64(u.Shards)
 		macs += n.Layer.MACs()
@@ -120,15 +121,16 @@ func (u *Unit) canSegment() bool { return len(u.Nodes) > 1 }
 
 // segment splits the unit into two pipeline segments at the balanced
 // cumulative-latency point (the paper splits FE+BFPN at the fourth
-// ResNet block this way in the dual-NPU study). Costs are computed on a.
-func (u *Unit) segment(a *costmodel.Accel) (*Unit, *Unit, error) {
+// ResNet block this way in the dual-NPU study). Costs are computed on a
+// through the cache (nil evaluates uncached).
+func (u *Unit) segment(a *costmodel.Accel, cache *costmodel.Cache) (*Unit, *Unit, error) {
 	if !u.canSegment() {
 		return nil, nil, fmt.Errorf("sched: unit %s cannot segment", u.Label())
 	}
 	lat := make([]float64, len(u.Nodes))
 	var total float64
 	for i, n := range u.Nodes {
-		lat[i] = costmodel.LayerOn(n.Layer, a).LatencyMs
+		lat[i] = cache.LayerOn(n.Layer, a).LatencyMs
 		total += lat[i]
 	}
 	var acc float64
@@ -146,10 +148,10 @@ func (u *Unit) segment(a *costmodel.Accel) (*Unit, *Unit, error) {
 		Nodes: u.Nodes[:cut], Shards: 1}
 	second := &Unit{StageIdx: u.StageIdx, Model: u.Model, Replica: u.Replica,
 		Nodes: u.Nodes[cut:], Shards: 1}
-	if err := first.evalOn(a); err != nil {
+	if err := first.evalOn(a, cache); err != nil {
 		return nil, nil, err
 	}
-	if err := second.evalOn(a); err != nil {
+	if err := second.evalOn(a, cache); err != nil {
 		return nil, nil, err
 	}
 	return first, second, nil

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/trace"
+	"mcmnpu/internal/workloads"
+)
+
+// buildFirstThreeSchedule builds the Table-II-style schedule over the
+// first three pipeline stages — a second topology (no trunks stage,
+// different chain structure) for the engine-equivalence check.
+func buildFirstThreeSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p, err := workloads.Perception(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Build(p.FirstThreeStages(), chiplet.Simba36(dataflow.OS), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEventDrivenMatchesGreedy is the engine-equivalence contract: the
+// event-driven Run must reproduce the greedy rescan's Result exactly —
+// every field, including the per-chiplet busy map, per-frame latencies
+// and link accounting — on multiple schedules and frame counts. The
+// generator is stateless, so passing the same one to both engines
+// replays identical arrivals.
+func TestEventDrivenMatchesGreedy(t *testing.T) {
+	schedules := map[string]*sched.Schedule{
+		"full-pipeline": buildSchedule(t),
+		"first-three":   buildFirstThreeSchedule(t),
+	}
+	for name, s := range schedules {
+		for _, frames := range []int{1, 3, 16, 48} {
+			gen := trace.NewGenerator(21)
+			ev, err := Run(s, frames, gen)
+			if err != nil {
+				t.Fatalf("%s/%d: event-driven: %v", name, frames, err)
+			}
+			gr, err := RunGreedy(s, frames, gen)
+			if err != nil {
+				t.Fatalf("%s/%d: greedy: %v", name, frames, err)
+			}
+			if !reflect.DeepEqual(ev, gr) {
+				t.Errorf("%s/%d frames: engines diverged\nevent-driven: %+v\ngreedy:       %+v",
+					name, frames, ev, gr)
+			}
+		}
+	}
+}
+
+// TestStageBoundaryChargesPerTerminalTransfer is the regression test
+// for the multi-terminal boundary bug: a stage-head task depending on
+// several upstream chain terminals must charge each terminal's own
+// transfer latency (ready = max over end_i + link_i), not the first
+// terminal's link for all of them.
+func TestStageBoundaryChargesPerTerminalTransfer(t *testing.T) {
+	s := buildSchedule(t)
+	tasks, _, err := buildTasks(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, differing := 0, 0
+	for _, tk := range tasks {
+		if len(tk.depExtraMs) != len(tk.deps) {
+			t.Fatalf("task %s frame %d: %d extras for %d deps",
+				tk.unit.Label(), tk.frame, len(tk.depExtraMs), len(tk.deps))
+		}
+		if len(tk.deps) < 2 {
+			continue
+		}
+		multi++
+		for i, d := range tk.deps {
+			want := boundaryMs(s, d.unit, tk.unit)
+			if tk.depExtraMs[i] != want {
+				t.Errorf("task %s frame %d dep %d (%s): extra %.4f ms, want that terminal's transfer %.4f ms",
+					tk.unit.Label(), tk.frame, i, d.unit.Label(), tk.depExtraMs[i], want)
+			}
+			if i > 0 && tk.depExtraMs[i] != tk.depExtraMs[0] {
+				differing++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-terminal stage boundary in the default schedule; test is vacuous")
+	}
+	// The FE stage's 8 replica chains terminate on different chiplets at
+	// different distances from the fusion head, so some terminal's
+	// transfer must genuinely differ from the first's — the case the
+	// pre-fix code collapsed onto deps[0]'s latency.
+	if differing == 0 {
+		t.Error("every terminal shares the first's transfer latency; the regression case never triggers")
+	}
+}
+
+// TestBenchmarkSpeedupContract spot-checks the acceptance criterion at a
+// reduced frame count (the full 256-frame comparison lives in the
+// benchmark suite): both engines agree while the event-driven one does
+// asymptotically less work.
+func TestBenchmarkSpeedupContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := buildSchedule(t)
+	gen := trace.NewGenerator(7)
+	ev, err := Run(s, 64, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := RunGreedy(s, 64, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev, gr) {
+		t.Error("64-frame run: engines diverged")
+	}
+}

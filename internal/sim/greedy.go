@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/trace"
+)
+
+// RunGreedy is the O(n²) reference engine: greedy list scheduling that
+// rescans every unfinished task per decision, picking the schedulable
+// task with the earliest feasible start (ties broken by construction
+// order, which gives FIFO within a chiplet). It is kept as the
+// executable specification the event-driven Run is differentially
+// tested and benchmarked against — the two must return bit-for-bit
+// identical Results on any schedule.
+func RunGreedy(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
+	if frames <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive frame count %d", frames)
+	}
+	if gen == nil {
+		gen = trace.NewGenerator(1)
+	}
+	arrivals := gen.FrameSets(frames)
+
+	tasks, frameLast, err := buildTasks(s, frames)
+	if err != nil {
+		return Result{}, err
+	}
+
+	chipletFree := map[nop.Coord]float64{}
+	busy := map[nop.Coord]float64{}
+
+	remaining := len(tasks)
+	for remaining > 0 {
+		bestIdx := -1
+		bestStart := 0.0
+		for i, t := range tasks {
+			if t.done {
+				continue
+			}
+			ready, ok := readyTime(t, arrivals)
+			if !ok {
+				continue
+			}
+			start := ready
+			for _, c := range t.unit.Chiplets {
+				if chipletFree[c] > start {
+					start = chipletFree[c]
+				}
+			}
+			if bestIdx == -1 || start < bestStart {
+				bestIdx, bestStart = i, start
+			}
+		}
+		if bestIdx == -1 {
+			return Result{}, fmt.Errorf("sim: deadlock with %d tasks remaining", remaining)
+		}
+		t := tasks[bestIdx]
+		t.startMs = bestStart
+		t.endMs = bestStart + t.unit.PerShardMs
+		t.done = true
+		for _, c := range t.unit.Chiplets {
+			chipletFree[c] = t.endMs
+			busy[c] += t.unit.PerShardMs
+		}
+		remaining--
+	}
+
+	return finishResult(s, frames, arrivals, frameLast, busy, tasks), nil
+}

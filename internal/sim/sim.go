@@ -5,9 +5,20 @@
 // analytical pipelining latency of the scheduler — the steady-state
 // inter-completion interval should match sched/pipeline's figure — and
 // measures realized utilization and per-chiplet busy time.
+//
+// Engine: Run is event-driven. Tasks carry dependency counters and a
+// global min-heap orders schedulable tasks by (feasible start, frame,
+// construction order). Chiplet occupancy only ever pushes a task's
+// feasible start later, so the heap is lazy: a popped entry whose start
+// went stale is re-keyed and reinserted instead of the whole ready set
+// being rescanned. The result is O(n log n)-ish against the O(n²)
+// greedy rescan of RunGreedy while producing bit-for-bit identical
+// results (same task order, same floating-point accumulation order) —
+// TestEventDrivenMatchesGreedy holds the two engines together.
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -19,11 +30,16 @@ import (
 // task is one unit execution for one frame (a gang across the unit's
 // shard chiplets).
 type task struct {
+	seq   int // construction order; the deterministic tie-breaker
 	frame int
 	unit  *sched.Unit
 	deps  []*task
-	// readyExtraMs is the NoP latency charged after the last dep.
-	readyExtraMs float64
+	// depExtraMs[i] is the NoP latency charged on top of deps[i]'s
+	// completion: the task is ready at max_i(deps[i].end + depExtraMs[i])
+	// — each producer's transfer starts when that producer finishes, so
+	// a slow link on an early-finishing terminal never pairs with a
+	// late-finishing one.
+	depExtraMs []float64
 
 	done    bool
 	startMs float64
@@ -53,8 +69,39 @@ type Result struct {
 	LinkUtilizationPct float64 // busiest link demand / link bandwidth
 }
 
+// startEvent is one heap entry: a schedulable task keyed by the feasible
+// start computed when it was pushed (a lower bound on its current one).
+type startEvent struct {
+	start float64
+	seq   int
+}
+
+// startHeap is a min-heap of startEvents ordered by (start, seq). The
+// seq tie-break reproduces the greedy scan's lowest-index-wins rule.
+type startHeap []startEvent
+
+func (h startHeap) Len() int { return len(h) }
+func (h startHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].seq < h[j].seq
+}
+func (h startHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *startHeap) Push(x any)   { *h = append(*h, x.(startEvent)) }
+func (h *startHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // Run streams `frames` frame sets (arriving per the trace generator)
-// through the schedule and returns realized metrics.
+// through the schedule and returns realized metrics. The engine is
+// event-driven: dependency counters release tasks into a min-heap of
+// (feasible start, construction order) and completions re-key only the
+// entries that went stale.
 func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
 	if frames <= 0 {
 		return Result{}, fmt.Errorf("sim: non-positive frame count %d", frames)
@@ -71,53 +118,93 @@ func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
 
 	chipletFree := map[nop.Coord]float64{}
 	busy := map[nop.Coord]float64{}
-	linkBytes := map[nop.Link]int64{}
-	for _, t := range tasks {
+
+	// Dependency counters and reverse edges: a completion decrements its
+	// successors and releases the ones that hit zero.
+	waiting := make([]int, len(tasks))
+	succs := make([][]int, len(tasks))
+	for i, t := range tasks {
+		waiting[i] = len(t.deps)
 		for _, d := range t.deps {
-			recordLinks(linkBytes, d.unit, t.unit)
+			succs[d.seq] = append(succs[d.seq], i)
 		}
 	}
 
-	// Greedy list scheduling in time order: repeatedly pick the
-	// schedulable task with the earliest feasible start (FIFO within a
-	// chiplet falls out of the earliest-start rule plus deterministic
-	// tie-breaking by frame then construction order).
+	// readyMs is fixed once a task's dependencies are all done (arrival,
+	// dep completion times and the NoP charge never change afterwards);
+	// only the chiplet-occupancy component of the start can drift.
+	readyMs := make([]float64, len(tasks))
+	startOf := func(t *task) float64 {
+		start := readyMs[t.seq]
+		for _, c := range t.unit.Chiplets {
+			if f := chipletFree[c]; f > start {
+				start = f
+			}
+		}
+		return start
+	}
+	release := func(t *task) startEvent {
+		ready := arrivals[t.frame].ReadyMs
+		for i, d := range t.deps {
+			if e := d.endMs + t.depExtraMs[i]; e > ready {
+				ready = e
+			}
+		}
+		readyMs[t.seq] = ready
+		return startEvent{start: startOf(t), seq: t.seq}
+	}
+
+	h := &startHeap{}
+	for i, t := range tasks {
+		if waiting[i] == 0 {
+			*h = append(*h, release(t))
+		}
+	}
+	heap.Init(h)
+
 	remaining := len(tasks)
-	for remaining > 0 {
-		bestIdx := -1
-		bestStart := 0.0
-		for i, t := range tasks {
-			if t.done {
-				continue
-			}
-			ready, ok := readyTime(t, arrivals)
-			if !ok {
-				continue
-			}
-			start := ready
-			for _, c := range t.unit.Chiplets {
-				if chipletFree[c] > start {
-					start = chipletFree[c]
-				}
-			}
-			if bestIdx == -1 || start < bestStart {
-				bestIdx, bestStart = i, start
-			}
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(startEvent)
+		t := tasks[ev.seq]
+		if cur := startOf(t); cur > ev.start {
+			// Stale: a gang on one of this task's chiplets was scheduled
+			// after the entry was pushed. Re-key and retry.
+			heap.Push(h, startEvent{start: cur, seq: ev.seq})
+			continue
 		}
-		if bestIdx == -1 {
-			return Result{}, fmt.Errorf("sim: deadlock with %d tasks remaining", remaining)
-		}
-		t := tasks[bestIdx]
-		t.startMs = bestStart
-		t.endMs = bestStart + t.unit.PerShardMs
+		t.startMs = ev.start
+		t.endMs = ev.start + t.unit.PerShardMs
 		t.done = true
 		for _, c := range t.unit.Chiplets {
 			chipletFree[c] = t.endMs
 			busy[c] += t.unit.PerShardMs
 		}
 		remaining--
+		for _, si := range succs[ev.seq] {
+			waiting[si]--
+			if waiting[si] == 0 {
+				heap.Push(h, release(tasks[si]))
+			}
+		}
+	}
+	if remaining > 0 {
+		return Result{}, fmt.Errorf("sim: deadlock with %d tasks remaining", remaining)
 	}
 
+	return finishResult(s, frames, arrivals, frameLast, busy, tasks), nil
+}
+
+// finishResult assembles the Result shared by both engines: summary
+// metrics plus the whole-run NoP link accounting.
+func finishResult(s *sched.Schedule, frames int, arrivals []trace.SetArrival,
+	frameLast [][]*task, busy map[nop.Coord]float64, tasks []*task) Result {
+
+	linkBytes := map[nop.Link]int64{}
+	for _, t := range tasks {
+		for _, d := range t.deps {
+			recordLinks(linkBytes, d.unit, t.unit)
+		}
+	}
 	r := summarize(s, frames, arrivals, frameLast, busy)
 	r.LinkBytes = linkBytes
 	for _, b := range linkBytes {
@@ -129,7 +216,7 @@ func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
 		r.BusiestLinkGBps = float64(r.BusiestLinkBytes) / (r.MakespanMs * 1e-3) / 1e9
 		r.LinkUtilizationPct = r.BusiestLinkGBps / s.MCM.NoP.LinkBWGBs * 100
 	}
-	return r, nil
+	return r
 }
 
 // recordLinks charges a producer->consumer transfer's bytes to every
@@ -151,22 +238,36 @@ func recordLinks(linkBytes map[nop.Link]int64, u, v *sched.Unit) {
 // arrival) allow it to start.
 func readyTime(t *task, arrivals []trace.SetArrival) (float64, bool) {
 	ready := arrivals[t.frame].ReadyMs
-	for _, d := range t.deps {
+	for i, d := range t.deps {
 		if !d.done {
 			return 0, false
 		}
-		if d.endMs > ready {
-			ready = d.endMs
+		if e := d.endMs + t.depExtraMs[i]; e > ready {
+			ready = e
 		}
 	}
-	return ready + t.readyExtraMs, true
+	return ready, true
 }
 
-// buildTasks expands the schedule into per-frame task DAGs.
+// buildTasks expands the schedule into per-frame task DAGs. Transfer
+// latencies depend only on unit placement, not on the frame, so they
+// are memoized per unit pair across the frame loop.
 func buildTasks(s *sched.Schedule, frames int) ([]*task, [][]*task, error) {
 	nStages := len(s.Pipeline.Stages)
 	var all []*task
 	frameLast := make([][]*task, frames)
+
+	type unitPair struct{ u, v *sched.Unit }
+	memo := map[unitPair]float64{}
+	linkMs := func(u, v *sched.Unit) float64 {
+		k := unitPair{u, v}
+		if ms, ok := memo[k]; ok {
+			return ms
+		}
+		ms := transferMs(s, u, v)
+		memo[k] = ms
+		return ms
+	}
 
 	for f := 0; f < frames; f++ {
 		var prevTerminals []*task
@@ -177,14 +278,19 @@ func buildTasks(s *sched.Schedule, frames int) ([]*task, [][]*task, error) {
 			for _, chain := range chains {
 				var prev *task
 				for k, u := range chain {
-					t := &task{frame: f, unit: u}
+					t := &task{seq: len(all), frame: f, unit: u}
 					if prev != nil {
 						t.deps = append(t.deps, prev)
-						t.readyExtraMs = transferMs(s, chain[k-1], u)
+						t.depExtraMs = append(t.depExtraMs, linkMs(chain[k-1], u))
 					} else {
-						t.deps = append(t.deps, prevTerminals...)
-						if len(prevTerminals) > 0 {
-							t.readyExtraMs = boundaryMs(s, prevTerminals[0].unit, u)
+						// The stage boundary waits for every upstream
+						// chain terminal plus that terminal's own
+						// transfer (each terminal is a distinct unit
+						// with its own placement, so latencies genuinely
+						// differ per dependency).
+						for _, pt := range prevTerminals {
+							t.deps = append(t.deps, pt)
+							t.depExtraMs = append(t.depExtraMs, linkMs(pt.unit, u))
 						}
 					}
 					all = append(all, t)
@@ -252,7 +358,8 @@ func transferMs(s *sched.Schedule, u, v *sched.Unit) float64 {
 	return worst
 }
 
-// boundaryMs estimates the stage-boundary NoP latency.
+// boundaryMs estimates the stage-boundary NoP latency from one upstream
+// terminal.
 func boundaryMs(s *sched.Schedule, u, v *sched.Unit) float64 { return transferMs(s, u, v) }
 
 func summarize(s *sched.Schedule, frames int, arrivals []trace.SetArrival,
@@ -293,11 +400,24 @@ func summarize(s *sched.Schedule, frames int, arrivals []trace.SetArrival,
 		r.ThroughputFPS = 1e3 / r.SteadyIntervalMs
 	}
 
+	// Sum in sorted coordinate order: map iteration order is random, and
+	// float addition is not associative — an unordered sum makes UtilPct
+	// differ in the last bit between identical runs.
+	coords := make([]nop.Coord, 0, len(busy))
+	for c := range busy {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Y != coords[j].Y {
+			return coords[i].Y < coords[j].Y
+		}
+		return coords[i].X < coords[j].X
+	})
 	var busyPE float64
-	for c, ms := range busy {
+	for _, c := range coords {
 		a := s.MCM.At(c)
 		if a != nil {
-			busyPE += ms * float64(a.PEs)
+			busyPE += busy[c] * float64(a.PEs)
 		}
 	}
 	if r.MakespanMs > 0 {

@@ -18,7 +18,7 @@ import (
 // the reduce re-applies dse.Better in index order by preferring the
 // lower index whenever neither result beats the other.
 func (e *Engine) Explore(ctx context.Context, trunks []*dnn.Graph, chiplets, wsCount int, lcstrMs float64) (dse.Result, error) {
-	space := dse.NewSpace(trunks, chiplets, lcstrMs)
+	space := dse.NewCachedSpace(trunks, chiplets, lcstrMs, e.cache)
 	return e.ExploreSpace(ctx, space, wsCount)
 }
 
@@ -66,7 +66,7 @@ func (e *Engine) ExploreSpace(ctx context.Context, space *dse.Space, wsCount int
 // oversubscribe the workers. Rows and deltas come from dse.TableIRows,
 // the same builder the serial dse.TableI uses.
 func (e *Engine) TableI(ctx context.Context, trunks []*dnn.Graph, lcstrMs float64) ([]dse.TableIRow, error) {
-	space := dse.NewSpace(trunks, 9, lcstrMs)
+	space := dse.NewCachedSpace(trunks, 9, lcstrMs, e.cache)
 	wsCounts := []int{0, 9, 2, 4}
 	results := make([]dse.Result, len(wsCounts))
 	for i, ws := range wsCounts {

@@ -11,26 +11,38 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"mcmnpu/internal/costmodel"
 )
 
 // Engine is a bounded worker pool. The zero value is not useful; use
-// New. An Engine is stateless between calls and safe for concurrent
-// use.
+// New. An Engine carries no per-call state — only its parallelism and a
+// shared layer-cost cache — and is safe for concurrent use.
 type Engine struct {
 	workers int
+	cache   *costmodel.Cache
 }
 
 // New returns an engine with the given parallelism; workers <= 0 means
-// runtime.NumCPU().
+// runtime.NumCPU(). The engine owns a layer-cost cache shared by every
+// DSE exploration it runs (Explore/ExploreSpace/TableI, including the
+// grid's dse-lcstr scenario), so repeated (layer, accel) evaluations
+// across candidate masks and Lcstr points are memoized once per engine.
+// The other grid scenarios route through internal/experiments, whose
+// harnesses memoize via that package's shared cache.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Engine{workers: workers}
+	return &Engine{workers: workers, cache: costmodel.NewCache()}
 }
 
 // Workers returns the engine's parallelism.
 func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's shared layer-cost cache (never nil for
+// engines built by New).
+func (e *Engine) Cache() *costmodel.Cache { return e.cache }
 
 // Each runs fn(i) for every i in [0, n) across the engine's workers.
 // Indices are dispatched through a channel, so long and short items

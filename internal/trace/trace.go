@@ -15,7 +15,11 @@ type Frame struct {
 	Bytes     int64   // encoded size entering the ISP
 }
 
-// Generator produces deterministic frame streams.
+// Generator produces deterministic frame streams. Generation is
+// stateless: every call derives its random stream from the stored seed
+// without mutating it, so repeated Frames/FrameSets/TelemetryStream
+// calls on one generator return identical sequences (a generator can be
+// shared across sim.Run invocations and comparisons reproduce exactly).
 type Generator struct {
 	Cameras   int
 	FPS       float64
@@ -36,18 +40,26 @@ func NewGenerator(seed uint64) *Generator {
 	}
 }
 
-// next is a SplitMix64 step — tiny, deterministic, stdlib-free.
-func (g *Generator) next() uint64 {
-	g.seed += 0x9e3779b97f4a7c15
-	z := g.seed
+// rng is a SplitMix64 stream — tiny, deterministic, stdlib-free. Each
+// Generator method runs its own rng copied from the seed, leaving the
+// generator untouched.
+type rng struct{ state uint64 }
+
+// telemetryDomain decorrelates the telemetry stream from the frame
+// stream of the same seed (arbitrary odd constant).
+const telemetryDomain = 0xd1342543de82ef95
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
 // uniform returns a deterministic float in [-1, 1).
-func (g *Generator) uniform() float64 {
-	return float64(int64(g.next()>>11))/float64(1<<52) - 1
+func (r *rng) uniform() float64 {
+	return float64(int64(r.next()>>11))/float64(1<<52) - 1
 }
 
 // Frames produces n frame sets (n * Cameras events) ordered by arrival.
@@ -55,12 +67,13 @@ func (g *Generator) Frames(n int) []Frame {
 	if n <= 0 || g.Cameras <= 0 || g.FPS <= 0 {
 		return nil
 	}
+	r := rng{state: g.seed}
 	period := 1e3 / g.FPS
 	out := make([]Frame, 0, n*g.Cameras)
 	for seq := 0; seq < n; seq++ {
 		base := float64(seq) * period
 		for cam := 0; cam < g.Cameras; cam++ {
-			arr := base + g.uniform()*g.JitterMs
+			arr := base + r.uniform()*g.JitterMs
 			if arr < 0 {
 				arr = 0
 			}
@@ -118,17 +131,18 @@ func (g *Generator) TelemetryStream(n int, hz float64) []Telemetry {
 	if n <= 0 || hz <= 0 {
 		return nil
 	}
+	r := rng{state: g.seed ^ telemetryDomain}
 	out := make([]Telemetry, 0, n)
 	speed, yaw := 8.0, 0.0
 	for i := 0; i < n; i++ {
-		speed += g.uniform() * 0.3
+		speed += r.uniform() * 0.3
 		if speed < 0 {
 			speed = 0
 		}
 		if speed > 35 {
 			speed = 35
 		}
-		yaw += g.uniform() * 0.02
+		yaw += r.uniform() * 0.02
 		if yaw > 0.5 {
 			yaw = 0.5
 		}

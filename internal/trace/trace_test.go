@@ -28,6 +28,41 @@ func TestFramesDeterministic(t *testing.T) {
 	}
 }
 
+// Regression: generation used to mutate the seed, so two successive
+// calls on one generator saw different arrivals — a reused generator
+// made repeated sim.Run comparisons irreproducible.
+func TestGeneratorReuseDeterministic(t *testing.T) {
+	g := NewGenerator(11)
+	fa, fb := g.Frames(6), g.Frames(6)
+	if len(fa) != len(fb) {
+		t.Fatalf("lengths differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("frame %d differs on reuse: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+	sa, sb := g.FrameSets(6), g.FrameSets(6)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("set %d differs on reuse: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+	ta, tb := g.TelemetryStream(20, 50), g.TelemetryStream(20, 50)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("telemetry %d differs on reuse: %v vs %v", i, ta[i], tb[i])
+		}
+	}
+	// Interleaving calls must not perturb either stream.
+	fc := g.Frames(6)
+	for i := range fa {
+		if fa[i] != fc[i] {
+			t.Fatalf("frame %d differs after interleaved calls", i)
+		}
+	}
+}
+
 func TestFramesSortedAndNonNegative(t *testing.T) {
 	fs := NewGenerator(7).Frames(30)
 	for i := 1; i < len(fs); i++ {
