@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test bench check
+.PHONY: all build fmt vet test race bench check golden
 
 all: check
 
@@ -20,10 +20,23 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the whole suite under the race detector — the scenario
+# runner's serial-vs-pool equivalence tests and the sweep engine only
+# count as passing when they are also data-race-free.
+race:
+	$(GO) test -race ./...
+
 # bench is a smoke run: every benchmark once, no timing statistics —
 # it exists to prove the experiment harnesses still execute end-to-end.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x .
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# check is the tier-1 gate: build + format + vet + tests + bench smoke.
-check: build fmt vet test bench
+# golden regenerates the snapshot files after an intentional change to
+# the analytic stack; review the diff before committing.
+golden:
+	$(GO) test ./internal/experiments -run TestGolden -update
+	$(GO) test ./internal/scenario -run TestListTableGolden -update
+
+# check is the tier-1 gate, mirrored by .github/workflows/ci.yml:
+# build + format + vet + race-enabled tests + bench smoke.
+check: build fmt vet race bench

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mcmnpu/internal/costmodel"
@@ -24,35 +25,46 @@ import (
 )
 
 func main() {
-	fig3 := flag.Bool("fig3", false, "per-component breakdown (paper Fig 3)")
-	fig4 := flag.Bool("fig4", false, "per-layer OS/WS affinities (paper Fig 4)")
-	model := flag.String("model", "", "profile one model: fe|sfuse|tfuse|occupancy|lane|det")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig3 := fs.Bool("fig3", false, "per-component breakdown (paper Fig 3)")
+	fig4 := fs.Bool("fig4", false, "per-layer OS/WS affinities (paper Fig 4)")
+	model := fs.String("model", "", "profile one model: fe|sfuse|tfuse|occupancy|lane|det")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := workloads.DefaultConfig()
 	switch {
 	case *fig3:
 		r := experiments.Fig3(cfg)
-		emit(r.Table(), *csv)
-		fmt.Printf("\nOS speedup over WS: %.2fx (paper: 6.85x)\n", r.OSSpeedup)
-		fmt.Printf("WS energy gain: %.2fx all, %.2fx excluding fusion (paper: 1.2x / 1.55x)\n",
+		emit(stdout, r.Table(), *csv)
+		fmt.Fprintf(stdout, "\nOS speedup over WS: %.2fx (paper: 6.85x)\n", r.OSSpeedup)
+		fmt.Fprintf(stdout, "WS energy gain: %.2fx all, %.2fx excluding fusion (paper: 1.2x / 1.55x)\n",
 			r.WSEnergyGain, r.WSEnergyGainNoFuse)
-		fmt.Printf("latency shares: S_FUSE %.0f%%, T_FUSE %.0f%% (paper: 25-28%% / 52-54%%)\n",
+		fmt.Fprintf(stdout, "latency shares: S_FUSE %.0f%%, T_FUSE %.0f%% (paper: 25-28%% / 52-54%%)\n",
 			r.SFuseShare*100, r.TFuseShare*100)
 	case *fig4:
-		emit(experiments.Fig4Table(experiments.Fig4(cfg)), *csv)
+		emit(stdout, experiments.Fig4Table(experiments.Fig4(cfg)), *csv)
 	case *model != "":
 		g, err := modelGraph(cfg, *model)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		emit(profileTable(g), *csv)
+		emit(stdout, profileTable(g), *csv)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
 func modelGraph(cfg workloads.Config, name string) (*dnn.Graph, error) {
@@ -91,10 +103,10 @@ func profileTable(g *dnn.Graph) *report.Table {
 	return t
 }
 
-func emit(t *report.Table, csv bool) {
+func emit(w io.Writer, t *report.Table, csv bool) {
 	if csv {
-		fmt.Print(t.CSV())
+		fmt.Fprint(w, t.CSV())
 		return
 	}
-	t.Render(os.Stdout)
+	t.Render(w)
 }

@@ -1,0 +1,130 @@
+// Command scenarios lists, filters and runs the named AV scenario
+// library through the streaming multi-frame runner: each scenario
+// compiles to a (workload, package, scheduler) bundle, is scheduled
+// once, and streams its frame budget through the event-driven simulator
+// in trace windows fanned across a worker pool. Results render as an
+// aligned table, JSON, or CSV.
+//
+// Usage:
+//
+//	scenarios -list                             # the scenario library
+//	scenarios -list -filter mono                # subset by substring
+//	scenarios -run urban-8cam -frames 64 -json  # one scenario, machine-readable
+//	scenarios -all -csv                         # every scenario, CSV artifact
+//	scenarios -spec custom.json                 # a spec from a JSON file
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, writes to
+// the given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the scenario library")
+		filter   = fs.String("filter", "", "substring filter for -list/-all")
+		runName  = fs.String("run", "", "run one named scenario")
+		all      = fs.Bool("all", false, "run every (filtered) scenario")
+		specFile = fs.String("spec", "", "run a scenario spec from a JSON file")
+		frames   = fs.Int("frames", 0, "frame budget override (0 = scenario default)")
+		window   = fs.Int("window", 16, "trace-window size in frames")
+		workers  = fs.Int("workers", 0, "worker count for the window pool (0 = NumCPU)")
+		serial   = fs.Bool("serial", false, "stream windows in-line instead of through the pool")
+		jsonOut  = fs.Bool("json", false, "emit JSON")
+		csvOut   = fs.Bool("csv", false, "emit CSV")
+		timeout  = fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !*list && *runName == "" && !*all && *specFile == "" {
+		fs.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *list {
+		specs := scenario.Filter(*filter)
+		if len(specs) == 0 {
+			fmt.Fprintf(stderr, "no scenario matches %q\n", *filter)
+			return 2
+		}
+		emit(stdout, scenario.ListTable(specs), *jsonOut, *csvOut)
+		return 0
+	}
+
+	var specs []scenario.Spec
+	switch {
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		sp, err := scenario.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		specs = []scenario.Spec{sp}
+	case *runName != "":
+		sp, err := scenario.Lookup(*runName)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		specs = []scenario.Spec{sp}
+	default: // -all
+		specs = scenario.Filter(*filter)
+		if len(specs) == 0 {
+			fmt.Fprintf(stderr, "no scenario matches %q\n", *filter)
+			return 2
+		}
+	}
+
+	opts := scenario.RunOptions{Frames: *frames, WindowFrames: *window}
+	if !*serial {
+		opts.Engine = sweep.New(*workers)
+	}
+	results, err := scenario.RunAll(ctx, specs, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	emit(stdout, scenario.ResultsTable(results), *jsonOut, *csvOut)
+	return 0
+}
+
+func emit(w io.Writer, t *report.Table, asJSON, asCSV bool) {
+	switch {
+	case asJSON:
+		fmt.Fprintln(w, t.JSON())
+	case asCSV:
+		fmt.Fprint(w, t.CSV())
+	default:
+		t.Render(w)
+	}
+}

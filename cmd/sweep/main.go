@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,19 +24,29 @@ import (
 )
 
 func main() {
-	workers := flag.Int("workers", 0, "worker count (0 = NumCPU)")
-	dseFlag := flag.Bool("dse", false, "parallel Table I design-space exploration")
-	grid := flag.Bool("grid", false, "concurrent multi-scenario experiment grid")
-	scenarios := flag.String("scenarios", "", "comma-separated scenario filter for -grid (default: all)")
-	lcstr := flag.Float64("lcstr", 85, "latency constraint for -dse (ms)")
-	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
-	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
-	cacheStats := flag.Bool("cachestats", false, "print layer-cost cache hit/miss stats on exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker count (0 = NumCPU)")
+	dseFlag := fs.Bool("dse", false, "parallel Table I design-space exploration")
+	grid := fs.Bool("grid", false, "concurrent multi-scenario experiment grid")
+	scenarios := fs.String("scenarios", "", "comma-separated scenario filter for -grid (default: all)")
+	lcstr := fs.Float64("lcstr", 85, "latency constraint for -dse (ms)")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	cacheStats := fs.Bool("cachestats", false, "print layer-cost cache hit/miss stats on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if !*dseFlag && !*grid {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -52,44 +63,46 @@ func main() {
 	if *dseFlag {
 		start := time.Now()
 		r, err := eng.TableIParallel(ctx, cfg, *lcstr)
-		fail(err)
-		emit(r.Table(), *jsonOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		emit(stdout, r.Table(), *jsonOut)
 		if !*jsonOut {
-			fmt.Printf("(%d workers, %s)\n\n", eng.Workers(), time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "(%d workers, %s)\n\n", eng.Workers(), time.Since(start).Round(time.Millisecond))
 		}
 	}
 
+	exit := 0
 	if *grid {
 		all := eng.DefaultGrid()
 		selected := filterScenarios(all, *scenarios)
 		if len(selected) == 0 {
-			fmt.Fprintf(os.Stderr, "no scenario matches %q (have: %s)\n",
+			fmt.Fprintf(stderr, "no scenario matches %q (have: %s)\n",
 				*scenarios, strings.Join(scenarioNames(all), ", "))
-			os.Exit(2)
+			return 2
 		}
 		results := eng.RunGrid(ctx, cfg, selected)
-		exit := 0
 		for _, r := range results {
 			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "scenario %s: %v\n", r.Scenario, r.Err)
+				fmt.Fprintf(stderr, "scenario %s: %v\n", r.Scenario, r.Err)
 				exit = 1
 				continue
 			}
-			emit(r.Table, *jsonOut)
+			emit(stdout, r.Table, *jsonOut)
 			if !*jsonOut {
-				fmt.Printf("(scenario %s: %.1f ms)\n\n", r.Scenario, r.ElapsedMs)
+				fmt.Fprintf(stdout, "(scenario %s: %.1f ms)\n\n", r.Scenario, r.ElapsedMs)
 			}
 		}
-		printCacheStats(eng, *cacheStats)
-		os.Exit(exit)
 	}
-	printCacheStats(eng, *cacheStats)
+	printCacheStats(stderr, eng, *cacheStats)
+	return exit
 }
 
 // printCacheStats reports both caches a run can exercise: the engine's
 // (DSE explorations — -dse and the dse-lcstr scenario) and the
 // experiments package's (the other grid scenario harnesses).
-func printCacheStats(eng *sweep.Engine, enabled bool) {
+func printCacheStats(w io.Writer, eng *sweep.Engine, enabled bool) {
 	if !enabled {
 		return
 	}
@@ -99,7 +112,7 @@ func printCacheStats(eng *sweep.Engine, enabled bool) {
 		if total > 0 {
 			pct = float64(s.Hits) / float64(total) * 100
 		}
-		fmt.Fprintf(os.Stderr, "%s layer-cost cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+		fmt.Fprintf(w, "%s layer-cost cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
 			name, s.Hits, s.Misses, pct, s.Entries)
 	}
 	line("engine (dse)", eng.Cache().Stats())
@@ -131,17 +144,10 @@ func scenarioNames(all []sweep.Scenario) []string {
 	return names
 }
 
-func emit(t *report.Table, asJSON bool) {
+func emit(w io.Writer, t *report.Table, asJSON bool) {
 	if asJSON {
-		fmt.Println(t.JSON())
+		fmt.Fprintln(w, t.JSON())
 		return
 	}
-	t.Render(os.Stdout)
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	t.Render(w)
 }

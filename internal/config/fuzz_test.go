@@ -1,0 +1,45 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzExperimentValidate feeds arbitrary JSON through the experiment
+// decode + Validate path: garbage must come back as an error, never a
+// panic, and anything Validate accepts must instantiate (Style and MCM
+// succeed — Validate's contract is "this experiment can run").
+func FuzzExperimentValidate(f *testing.F) {
+	seed, err := json.Marshal(Default())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{}`)
+	f.Add(`{"name":"x","package":"dual72","dataflow":"WS"}`)
+	f.Add(`{"package":"mono3"}`)
+	f.Add(`{"dataflow":"RS"}`)
+	f.Add(`{"workload":{"Cameras":-8}}`)
+	f.Add(`{"workload":{"Cameras":1e18,"InputH":1}}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"just a string"`)
+	f.Add(`{"scheduler":{"Tolerance":-1,"MaxIters":-7}}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var e Experiment
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			return // not JSON for an experiment: fine, as long as no panic
+		}
+		if err := e.Validate(); err != nil {
+			return // rejected: fine
+		}
+		// Accepted experiments must be instantiable.
+		if _, err := e.Style(); err != nil {
+			t.Fatalf("Validate accepted but Style failed: %v (%s)", err, data)
+		}
+		m, err := e.MCM()
+		if err != nil || m == nil {
+			t.Fatalf("Validate accepted but MCM failed: %v (%s)", err, data)
+		}
+	})
+}

@@ -298,22 +298,15 @@ func (g *GraphCost) add(c LayerCost) {
 	g.DRAMBytes += c.DRAMBytes
 }
 
-// GraphOn evaluates every layer of g serially on a.
+// GraphOn evaluates every layer of g serially on a (uncached: a nil
+// *Cache shares the accumulation loop with the memoized path).
 func GraphOn(g *dnn.Graph, a *Accel) GraphCost {
-	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, g.Len())}
-	for _, n := range g.Nodes() {
-		gc.add(LayerOn(n.Layer, a))
-	}
-	return gc
+	return (*Cache)(nil).GraphOn(g, a)
 }
 
 // LayersOn evaluates a list of layers serially on a.
 func LayersOn(layers []*dnn.Layer, a *Accel) GraphCost {
-	gc := GraphCost{Accel: a, PerLayer: make([]LayerCost, 0, len(layers))}
-	for _, l := range layers {
-		gc.add(LayerOn(l, a))
-	}
-	return gc
+	return (*Cache)(nil).LayersOn(layers, a)
 }
 
 // ShardedLayerOn evaluates one shard of an n-way data-parallel split of

@@ -1,0 +1,139 @@
+package costmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dnn"
+	"mcmnpu/internal/tensor"
+)
+
+// Property tests for the analytic cost model: adding PEs never slows a
+// layer down (on clean square arrays where wave quantization cannot
+// interfere), and every cost is non-negative with a sensible bound
+// label.
+
+// peLadder is a sequence of square power-of-4 arrays (8x8 .. 128x128).
+// Monotonicity is asserted along this ladder: between arbitrary PE
+// counts, array-shape quantization (e.g. 48x48 vs 32x32 wave edges) can
+// legitimately produce small non-monotonic steps, but scaling the
+// square array must never hurt.
+var peLadder = []int64{64, 256, 1024, 4096, 16384}
+
+// propertyLayers spans the model families the pipeline uses: conv,
+// deconv, linear/GEMM, attention matmul, and a vector-bound layer.
+func propertyLayers() []*dnn.Layer {
+	return []*dnn.Layer{
+		dnn.NewConv2D(dnn.Conv2DSpec{Name: "conv3x3", In: tensor.NCHW(1, 64, 56, 56),
+			OutC: 64, Kernel: 3, Stride: 1, Pad: 1}),
+		dnn.NewConv2D(dnn.Conv2DSpec{Name: "conv1x1-wide", In: tensor.NCHW(1, 256, 40, 40),
+			OutC: 512, Kernel: 1, Stride: 1, Pad: 0}),
+		dnn.NewDeconv2D("deconv", tensor.NCHW(1, 128, 20, 80), 64, 4, 2, 1),
+		dnn.NewLinear("linear", 16000, 256, 256),
+		dnn.NewBatchedLinear("batched-linear", 8, 2000, 256, 1024),
+		dnn.NewMatMul("attn-matmul", 300, 96, 64, 96),
+	}
+}
+
+// monotoneLayers are the propertyLayers with enough parallelism that
+// the whole PE ladder stays saturated. Small layers (e.g. the 96x96
+// attention matmul) legitimately slow down slightly on arrays larger
+// than their output tile — edge waves stream full-array operand tiles
+// for a sliver of useful work — so strict monotonicity is a property of
+// amply-parallel layers only.
+func monotoneLayers() []*dnn.Layer {
+	var out []*dnn.Layer
+	maxPEs := peLadder[len(peLadder)-1]
+	for _, l := range propertyLayers() {
+		if l.OutputElems()/l.Nest.Batch >= maxPEs {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func TestLatencyMonotoneInPEs(t *testing.T) {
+	layers := monotoneLayers()
+	if len(layers) < 4 {
+		t.Fatalf("only %d amply-parallel property layers; the monotonicity sweep lost its teeth", len(layers))
+	}
+	for _, l := range layers {
+		for _, style := range []dataflow.Style{dataflow.OS, dataflow.WS} {
+			prev := -1.0
+			for _, pes := range peLadder {
+				a := Monolithic(fmt.Sprintf("pe%d", pes), pes, style)
+				c := LayerOn(l, a)
+				if prev >= 0 && c.LatencyMs > prev {
+					t.Errorf("%s/%v: latency rose %.6f -> %.6f ms growing the array to %d PEs",
+						l.Name, style, prev, c.LatencyMs, pes)
+				}
+				prev = c.LatencyMs
+			}
+		}
+	}
+}
+
+func TestCostsNonNegativeAndBounded(t *testing.T) {
+	validBounds := map[string]bool{"compute": true, "glb": true, "psum": true,
+		"dram": true, "vector": true}
+	for _, l := range propertyLayers() {
+		for _, style := range []dataflow.Style{dataflow.OS, dataflow.WS} {
+			for _, pes := range peLadder {
+				a := Monolithic(fmt.Sprintf("pe%d", pes), pes, style)
+				c := LayerOn(l, a)
+				if c.LatencyMs <= 0 || c.EnergyJ <= 0 || c.Cycles <= 0 {
+					t.Fatalf("%s/%v/%d: non-positive cost %+v", l.Name, style, pes, c)
+				}
+				if c.GLBBytes < 0 || c.PsumBytes < 0 || c.DRAMBytes < 0 {
+					t.Fatalf("%s/%v/%d: negative traffic %+v", l.Name, style, pes, c)
+				}
+				if !validBounds[c.Bound] {
+					t.Fatalf("%s/%v/%d: unknown bound %q", l.Name, style, pes, c.Bound)
+				}
+				if c.EffectiveUtil < 0 || c.EffectiveUtil > 1+1e-9 {
+					t.Fatalf("%s/%v/%d: effective utilization %v outside [0,1]",
+						l.Name, style, pes, c.EffectiveUtil)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedNotSlower: an n-way shard of a layer never has higher
+// per-shard latency than the whole layer on the same accelerator.
+func TestShardedNotSlower(t *testing.T) {
+	a := SimbaChiplet(dataflow.OS)
+	for _, l := range propertyLayers() {
+		whole := LayerOn(l, a)
+		for _, n := range []int64{2, 4} {
+			if l.MaxShard() < n {
+				continue
+			}
+			shard, err := ShardedLayerOn(l, n, a)
+			if err != nil {
+				t.Fatalf("%s: shard(%d): %v", l.Name, n, err)
+			}
+			if shard.LatencyMs > whole.LatencyMs {
+				t.Errorf("%s: %d-way shard latency %.6f > whole-layer %.6f ms",
+					l.Name, n, shard.LatencyMs, whole.LatencyMs)
+			}
+		}
+	}
+}
+
+// TestEnergyScalesWithMACs: on one accelerator, a layer with strictly
+// more MACs and traffic (same shape family, doubled channels) costs
+// strictly more energy.
+func TestEnergyScalesWithMACs(t *testing.T) {
+	a := SimbaChiplet(dataflow.OS)
+	small := dnn.NewLinear("small", 4000, 128, 128)
+	big := dnn.NewLinear("big", 4000, 256, 256)
+	cs, cb := LayerOn(small, a), LayerOn(big, a)
+	if cb.EnergyJ <= cs.EnergyJ {
+		t.Errorf("4x-MAC layer energy %.3e <= smaller layer %.3e", cb.EnergyJ, cs.EnergyJ)
+	}
+	if cb.LatencyMs <= cs.LatencyMs {
+		t.Errorf("4x-MAC layer latency %.6f <= smaller layer %.6f", cb.LatencyMs, cs.LatencyMs)
+	}
+}

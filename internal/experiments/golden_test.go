@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcmnpu/internal/workloads"
+)
+
+// The golden tests snapshot the rendered paper-reproduction tables and
+// assert byte-for-byte equality: they lock the determinism guarantee of
+// the analytic stack (scheduler, cost model, DSE reduce) end to end —
+// any change to a single float anywhere upstream shows up here.
+// Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (regenerate with -update if intentional)\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	checkGolden(t, "table1.golden", TableI(workloads.DefaultConfig()).Table().String())
+}
+
+func TestGoldenTable2(t *testing.T) {
+	rows, err := Table2(workloads.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.golden", Table2Table(rows).String())
+}
+
+func TestGoldenCameraSweep(t *testing.T) {
+	rows, err := CameraSweep(workloads.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "camera_sweep.golden", CameraSweepTable(rows).String())
+}
+
+func TestGoldenMeshSweep(t *testing.T) {
+	rows, err := MeshSweep(workloads.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mesh_sweep.golden", MeshSweepTable(rows).String())
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary bytes through the scenario-spec parser:
+// garbage must error (never panic), and any spec the parser accepts
+// must compile into a runnable bundle.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range Registry() {
+		b, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:4x4"}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:999x999"}`))
+	f.Add([]byte(`{"name":"x","nop":{"LinkBWGBs":-1}}`))
+	f.Add([]byte(`{"name":"x","camera_fps":1e308}`))
+	f.Add([]byte(`{"name":"x","frames":-1}`))
+	f.Add([]byte(`{"name":"a,b"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"name":"x"} {"name":"y"}`))
+	f.Add([]byte(`{"name":"x","jitter_ms":0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		// Parsed specs are defaulted+validated; they must compile.
+		b, err := sp.Compile()
+		if err != nil {
+			t.Fatalf("ParseSpec accepted a spec Compile rejects: %v (%s)", err, data)
+		}
+		if b.MCM == nil || b.MCM.Chiplets() < 1 {
+			t.Fatalf("compiled bundle has no package: %+v", b)
+		}
+		// The trace generator must be constructible for any valid spec.
+		if g := sp.Generator(sp.Seed); g.Cameras < 1 || g.FPS <= 0 {
+			t.Fatalf("generator degenerate for valid spec: %+v", g)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Streaming multi-frame runner: a compiled scenario is scheduled once,
+// then its frame budget is split into trace windows that stream through
+// the event-driven simulator — serially or fanned across a sweep.Engine
+// worker pool. Each window is an independent busy-period sample: its
+// generator derives deterministically from (spec seed, window index) and
+// its arrivals restart from an idle package, so results are bit-for-bit
+// identical regardless of worker count or repetition.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/sim"
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+// windowSeedStride decorrelates per-window trace seeds (arbitrary odd
+// constant, same family as the trace package's domain separators).
+const windowSeedStride = 0x9e3779b97f4a7c15
+
+// RunOptions tunes one streaming run.
+type RunOptions struct {
+	// Frames overrides the spec's frame budget when positive.
+	Frames int
+	// WindowFrames is the trace-window size (default 16; clamped to the
+	// frame budget). The window split is part of the result's
+	// definition: the same (frames, window) pair always aggregates the
+	// same per-window simulations.
+	WindowFrames int
+	// Engine, when non-nil, fans the windows across the worker pool and
+	// shares the engine's layer-cost cache with the scheduler. nil runs
+	// the windows serially with a private cache; either way the result
+	// is bit-for-bit identical.
+	Engine *sweep.Engine
+}
+
+// Result is one scenario's aggregated streaming metrics. The struct is
+// flat and comparable: two runs of the same scenario can be asserted
+// identical with ==.
+type Result struct {
+	Scenario   string
+	Package    string
+	Chiplets   int
+	Dataflow   string
+	Frames     int
+	Windows    int
+	CameraFPS  float64
+	DeadlineMs float64
+
+	// Analytic schedule metrics (layerwise pipelining).
+	PipeLatMs       float64
+	E2EMs           float64
+	AnalyticFPS     float64
+	EnergyPerFrameJ float64
+
+	// Realized per-frame latency distribution across all windows.
+	MeanLatMs float64
+	P50Ms     float64
+	P95Ms     float64
+	P99Ms     float64
+	MaxMs     float64
+
+	// Realized throughput (frames over summed window makespans) and
+	// makespan-weighted PE utilization.
+	SimFPS  float64
+	UtilPct float64
+
+	// Deadline-miss accounting against DeadlineMs.
+	DeadlineMisses int
+	MissRatePct    float64
+}
+
+// Run compiles the spec, builds its schedule once, and streams the frame
+// budget through the simulator in trace windows.
+func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
+	b, err := sp.Compile()
+	if err != nil {
+		return Result{}, err
+	}
+	frames := b.Spec.Frames
+	if opts.Frames > 0 {
+		frames = opts.Frames
+	}
+	win := opts.WindowFrames
+	if win <= 0 {
+		win = 16
+	}
+	if win > frames {
+		win = frames
+	}
+
+	cache := costmodel.NewCache()
+	if opts.Engine != nil {
+		cache = opts.Engine.Cache()
+	}
+	b.Sched.Cache = cache
+
+	s, err := buildSchedule(b)
+	if err != nil {
+		return Result{}, err
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+
+	nw := (frames + win - 1) / win
+	windows := make([]sim.Result, nw)
+	runWindow := func(i int) error {
+		n := win
+		if i == nw-1 {
+			n = frames - win*(nw-1)
+		}
+		gen := b.Spec.Generator(b.Spec.Seed + windowSeedStride*uint64(i+1))
+		r, err := sim.Run(s, n, gen)
+		if err != nil {
+			return fmt.Errorf("scenario %s window %d: %w", b.Spec.Name, i, err)
+		}
+		windows[i] = r
+		return nil
+	}
+	if opts.Engine != nil {
+		err = opts.Engine.Each(ctx, nw, runWindow)
+	} else {
+		for i := 0; i < nw && err == nil; i++ {
+			if err = ctx.Err(); err == nil {
+				err = runWindow(i)
+			}
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	r := Result{
+		Scenario:   b.Spec.Name,
+		Package:    s.MCM.Name,
+		Chiplets:   s.MCM.Chiplets(),
+		Dataflow:   b.Spec.Dataflow,
+		Frames:     frames,
+		Windows:    nw,
+		CameraFPS:  b.Spec.CameraFPS,
+		DeadlineMs: b.Spec.DeadlineMs,
+
+		PipeLatMs:       m.PipeLatMs,
+		E2EMs:           m.E2EMs,
+		AnalyticFPS:     m.FPS,
+		EnergyPerFrameJ: m.EnergyJ,
+	}
+
+	// Aggregate in window order: float accumulation order is part of the
+	// determinism contract.
+	latencies := make([]float64, 0, frames)
+	var latSum, makespanSum, utilWeighted float64
+	for _, w := range windows {
+		latencies = append(latencies, w.FrameLatenciesMs...)
+		makespanSum += w.MakespanMs
+		utilWeighted += w.UtilPct * w.MakespanMs
+	}
+	for _, l := range latencies {
+		latSum += l
+		if l > b.Spec.DeadlineMs {
+			r.DeadlineMisses++
+		}
+	}
+	r.MeanLatMs = latSum / float64(len(latencies))
+	r.MissRatePct = float64(r.DeadlineMisses) / float64(len(latencies)) * 100
+	if makespanSum > 0 {
+		r.SimFPS = float64(frames) / makespanSum * 1e3
+		r.UtilPct = utilWeighted / makespanSum
+	}
+
+	sort.Float64s(latencies)
+	r.P50Ms = percentile(latencies, 0.50)
+	r.P95Ms = percentile(latencies, 0.95)
+	r.P99Ms = percentile(latencies, 0.99)
+	r.MaxMs = latencies[len(latencies)-1]
+	return r, nil
+}
+
+// buildSchedule assembles the pipeline and runs Algorithm 1 for a
+// compiled bundle.
+func buildSchedule(b Bundle) (*sched.Schedule, error) {
+	p, err := workloads.Perception(b.Config)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", b.Spec.Name, err)
+	}
+	s, err := sched.Build(p, b.MCM, b.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", b.Spec.Name, err)
+	}
+	return s, nil
+}
+
+// RunAll streams every spec through Run in order, sharing opts (and the
+// engine's worker pool/cache, when set) across scenarios. The first
+// failure aborts the batch.
+func RunAll(ctx context.Context, specs []Spec, opts RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(specs))
+	for _, sp := range specs {
+		r, err := Run(ctx, sp, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// percentile returns the nearest-rank percentile of a sorted sample
+// (q in (0,1]).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ResultsTable renders results as one summary row per scenario.
+func ResultsTable(rs []Result) *report.Table {
+	t := report.NewTable("Scenario library — streaming multi-frame runner",
+		"Scenario", "Package", "Frames", "Pipe(ms)", "E2E(ms)", "Mean(ms)",
+		"p50(ms)", "p95(ms)", "p99(ms)", "Max(ms)", "Sim FPS", "Util(%)",
+		"E/frame(J)", "Deadline(ms)", "Miss", "Miss(%)")
+	for _, r := range rs {
+		t.AddRow(r.Scenario, r.Package, r.Frames, r.PipeLatMs, r.E2EMs, r.MeanLatMs,
+			r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.SimFPS, r.UtilPct,
+			r.EnergyPerFrameJ, r.DeadlineMs, r.DeadlineMisses, r.MissRatePct)
+	}
+	return t
+}
+
+// ListTable renders the scenario library listing.
+func ListTable(specs []Spec) *report.Table {
+	t := report.NewTable("Scenario library",
+		"Scenario", "Cameras", "Input", "Package", "Dataflow", "Cam FPS",
+		"Frames", "Deadline(ms)", "Description")
+	for _, s := range specs {
+		s = s.WithDefaults()
+		t.AddRow(s.Name, s.Workload.Cameras,
+			fmt.Sprintf("%dx%d", s.Workload.InputW, s.Workload.InputH),
+			s.Package, s.Dataflow, s.CameraFPS, s.Frames, s.DeadlineMs, s.Description)
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"mcmnpu/internal/sweep"
+)
+
+// fastOpts keeps the equivalence sweeps quick: every registry scenario
+// still builds its full schedule, but streams only a few windows.
+var fastOpts = RunOptions{Frames: 8, WindowFrames: 4}
+
+// TestRunTwiceIdentical is the determinism lock: the same scenario run
+// twice produces a bit-for-bit identical Result (the struct is
+// comparable on purpose — every float must match exactly).
+func TestRunTwiceIdentical(t *testing.T) {
+	for _, sp := range Registry() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			r1, err := Run(context.Background(), sp, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(context.Background(), sp, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 != r2 {
+				t.Errorf("results differ between identical runs:\n  1st %+v\n  2nd %+v", r1, r2)
+			}
+		})
+	}
+}
+
+// TestSerialMatchesPool holds the worker-pool path to the serial path:
+// fanning trace windows across a sweep.Engine must not change a single
+// bit of the aggregate.
+func TestSerialMatchesPool(t *testing.T) {
+	eng := sweep.New(4)
+	for _, sp := range Registry() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(context.Background(), sp, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled := fastOpts
+			pooled.Engine = eng
+			par, err := Run(context.Background(), sp, pooled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != par {
+				t.Errorf("serial and pooled results differ:\n  serial %+v\n  pooled %+v", serial, par)
+			}
+		})
+	}
+}
+
+func TestRunMetricsSane(t *testing.T) {
+	sp, err := Lookup("urban-8cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(context.Background(), sp, RunOptions{Frames: 10, WindowFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames != 10 || r.Windows != 3 {
+		t.Errorf("frames=%d windows=%d; want 10 frames in 3 windows", r.Frames, r.Windows)
+	}
+	if !(r.P50Ms <= r.P95Ms && r.P95Ms <= r.P99Ms && r.P99Ms <= r.MaxMs) {
+		t.Errorf("percentiles not ordered: %+v", r)
+	}
+	if r.MeanLatMs <= 0 || r.MaxMs <= 0 {
+		t.Errorf("non-positive latencies: %+v", r)
+	}
+	if r.UtilPct <= 0 || r.UtilPct > 100 {
+		t.Errorf("utilization %.2f out of (0,100]", r.UtilPct)
+	}
+	if r.SimFPS <= 0 {
+		t.Errorf("sim FPS %.2f", r.SimFPS)
+	}
+	if r.EnergyPerFrameJ <= 0 || r.PipeLatMs <= 0 || r.E2EMs < r.PipeLatMs {
+		t.Errorf("analytic metrics implausible: %+v", r)
+	}
+	if r.DeadlineMisses < 0 || r.DeadlineMisses > r.Frames {
+		t.Errorf("deadline misses %d out of range", r.DeadlineMisses)
+	}
+	wantRate := float64(r.DeadlineMisses) / float64(r.Frames) * 100
+	if r.MissRatePct != wantRate {
+		t.Errorf("miss rate %.3f != misses/frames %.3f", r.MissRatePct, wantRate)
+	}
+}
+
+// TestDeadlineCounting pins the miss accounting with an impossible and
+// a trivially loose budget.
+func TestDeadlineCounting(t *testing.T) {
+	sp, err := Lookup("urban-8cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.DeadlineMs = 1e-6 // nothing clears a microsecond budget
+	r, err := Run(context.Background(), sp, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadlineMisses != r.Frames || r.MissRatePct != 100 {
+		t.Errorf("impossible deadline: %d/%d missed", r.DeadlineMisses, r.Frames)
+	}
+
+	sp.DeadlineMs = 1e6 // everything clears a 1000-second budget
+	r, err = Run(context.Background(), sp, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadlineMisses != 0 || r.MissRatePct != 0 {
+		t.Errorf("loose deadline: %d missed", r.DeadlineMisses)
+	}
+}
+
+func TestRunAllOrderAndCancel(t *testing.T) {
+	specs := Filter("mono")
+	rs, err := RunAll(context.Background(), specs, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(rs), len(specs))
+	}
+	for i, r := range rs {
+		if r.Scenario != specs[i].Name {
+			t.Errorf("result %d = %s; want %s (order must be preserved)", i, r.Scenario, specs[i].Name)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, specs, fastOpts); err == nil {
+		t.Error("cancelled context should abort the batch")
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{}, fastOpts); err == nil {
+		t.Error("zero spec (no name) should fail")
+	}
+	if _, err := Run(context.Background(), Spec{Name: "x", Package: "bogus"}, fastOpts); err == nil {
+		t.Error("unknown package should fail")
+	}
+}
+
+func TestWindowLargerThanFrames(t *testing.T) {
+	sp, err := Lookup("highway-5cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(context.Background(), sp, RunOptions{Frames: 3, WindowFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows != 1 || r.Frames != 3 {
+		t.Errorf("window clamp: %+v", r)
+	}
+}
+
+func TestResultsTableShape(t *testing.T) {
+	sp, err := Lookup("degraded-camera-dropout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(context.Background(), sp, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := ResultsTable([]Result{r})
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(tab.Headers) {
+		t.Errorf("table shape %dx%d vs %d headers", len(tab.Rows), len(tab.Rows[0]), len(tab.Headers))
+	}
+	if tab.Rows[0][0] != "degraded-camera-dropout" {
+		t.Errorf("first cell = %q", tab.Rows[0][0])
+	}
+}

@@ -1,0 +1,414 @@
+// Package scenario is the declarative workload layer on top of the
+// analytic engines: a Spec names one complete AV perception scenario —
+// sensor suite, workload parameters, package/dataflow choice, NoP
+// parameters, trace model, frame budget — and compiles to a ready-to-run
+// (workloads.Config, *chiplet.MCM, sched.Options) bundle. A registry of
+// named scenarios (urban, highway, robotaxi, degraded rigs, baselines)
+// turns the single-operating-point paper reproduction into a
+// many-workload evaluation system; the streaming runner in runner.go
+// drives each bundle through the event-driven simulator.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/trace"
+	"mcmnpu/internal/workloads"
+)
+
+// Spec declares one scenario. The zero value is not runnable; construct
+// specs from the registry, from ParseSpec, or start from a registry
+// entry and override fields. All fields are plain data so specs
+// round-trip through JSON.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Workload is the full perception-pipeline parametrization. A zero
+	// Workload is replaced by workloads.DefaultConfig() at
+	// defaulting/parse time.
+	Workload workloads.Config `json:"workload"`
+
+	// Package selects the chiplet package: "simba36" (default),
+	// "dual72", "mono1", "mono2", "mono4", or "mesh:WxH" for a custom
+	// W x H mesh of 256-PE Simba chiplets (1 <= W,H <= 32).
+	Package string `json:"package,omitempty"`
+
+	// Dataflow is "OS" (default) or "WS", applied package-wide.
+	Dataflow string `json:"dataflow,omitempty"`
+
+	// NoP, when non-nil, overrides the package's interconnect
+	// parameters.
+	NoP *nop.Params `json:"nop,omitempty"`
+
+	// Tolerance overrides the scheduler's tolerance coefficient when
+	// positive (0 keeps sched.DefaultOptions).
+	Tolerance float64 `json:"tolerance,omitempty"`
+
+	// Trace model: camera rate, bounded arrival jitter, and the
+	// deterministic seed the frame streams derive from. JitterMs is NOT
+	// defaulted — 0 is a meaningful value (jitter-free arrivals), so an
+	// unset field stays jitter-free; the registry scenarios set the
+	// paper's 1.5 ms explicitly.
+	CameraFPS float64 `json:"camera_fps,omitempty"` // default 10
+	JitterMs  float64 `json:"jitter_ms,omitempty"`  // 0 = jitter-free
+	Seed      uint64  `json:"seed,omitempty"`       // default 1
+
+	// Frames is the default streamed frame-set count (overridable per
+	// run).
+	Frames int `json:"frames,omitempty"` // default 32
+
+	// DeadlineMs is the per-frame latency budget for deadline-miss
+	// counting. 0 derives the budget from the camera rate
+	// (DefaultDeadlinePeriods camera periods).
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// DefaultDeadlinePeriods is the camera-rate budget used when a spec
+// leaves DeadlineMs at 0: a frame must clear the pipeline within this
+// many camera periods.
+const DefaultDeadlinePeriods = 4
+
+// maxMeshDim bounds custom "mesh:WxH" packages (keeps fuzzed specs from
+// allocating absurd meshes).
+const maxMeshDim = 32
+
+// WithDefaults returns the spec with unset fields replaced by their
+// defaults (zero workload -> paper config, empty package -> simba36,
+// empty dataflow -> OS, zero trace parameters -> 10 FPS / seed 1 / 32
+// frames). JitterMs is left alone: 0 means jitter-free, not "default".
+func (s Spec) WithDefaults() Spec {
+	if s.Workload == (workloads.Config{}) {
+		s.Workload = workloads.DefaultConfig()
+	}
+	if s.Package == "" {
+		s.Package = "simba36"
+	}
+	if s.Dataflow == "" {
+		s.Dataflow = "OS"
+	}
+	if s.CameraFPS == 0 {
+		s.CameraFPS = 10
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Frames == 0 {
+		s.Frames = 32
+	}
+	if s.DeadlineMs == 0 {
+		s.DeadlineMs = DefaultDeadlinePeriods * 1e3 / s.CameraFPS
+	}
+	return s
+}
+
+// Validate reports spec errors. Call on a defaulted spec (WithDefaults
+// or ParseSpec output); a zero-valued field that WithDefaults would fill
+// is reported as invalid here.
+func (s Spec) Validate() error {
+	if s.Name == "" || strings.ContainsAny(s.Name, "\n\r,") {
+		return fmt.Errorf("scenario: invalid name %q", s.Name)
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := s.style(); err != nil {
+		return err
+	}
+	if _, _, err := parsePackage(s.Package); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.NoP != nil {
+		if err := s.NoP.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Tolerance < 0 || s.Tolerance > 10 {
+		return fmt.Errorf("scenario %s: tolerance %v out of range", s.Name, s.Tolerance)
+	}
+	if s.CameraFPS <= 0 || s.CameraFPS > 1000 {
+		return fmt.Errorf("scenario %s: camera rate %v FPS out of range", s.Name, s.CameraFPS)
+	}
+	if s.JitterMs < 0 || s.JitterMs > 1e3 {
+		return fmt.Errorf("scenario %s: jitter %v ms out of range", s.Name, s.JitterMs)
+	}
+	if s.Frames <= 0 || s.Frames > 1<<20 {
+		return fmt.Errorf("scenario %s: frame count %d out of range", s.Name, s.Frames)
+	}
+	if s.DeadlineMs <= 0 || s.DeadlineMs > 1e6 {
+		return fmt.Errorf("scenario %s: deadline %v ms out of range", s.Name, s.DeadlineMs)
+	}
+	return nil
+}
+
+func (s Spec) style() (dataflow.Style, error) {
+	switch s.Dataflow {
+	case "OS", "os", "":
+		return dataflow.OS, nil
+	case "WS", "ws":
+		return dataflow.WS, nil
+	default:
+		return dataflow.OS, fmt.Errorf("scenario %s: unknown dataflow %q", s.Name, s.Dataflow)
+	}
+}
+
+// parsePackage validates a package selector; for "mesh:WxH" it also
+// returns the mesh dimensions (w, h are 0 for presets).
+func parsePackage(pkg string) (w, h int, err error) {
+	switch pkg {
+	case "simba36", "dual72", "mono1", "mono2", "mono4":
+		return 0, 0, nil
+	}
+	rest, ok := strings.CutPrefix(pkg, "mesh:")
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown package %q", pkg)
+	}
+	ws, hs, ok := strings.Cut(rest, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed mesh package %q (want mesh:WxH)", pkg)
+	}
+	w, werr := strconv.Atoi(ws)
+	h, herr := strconv.Atoi(hs)
+	if werr != nil || herr != nil || w < 1 || h < 1 || w > maxMeshDim || h > maxMeshDim {
+		return 0, 0, fmt.Errorf("mesh package %q dimensions out of range (1..%d)", pkg, maxMeshDim)
+	}
+	return w, h, nil
+}
+
+// Bundle is a compiled, ready-to-run scenario: the workload
+// configuration, the instantiated chiplet package, and the scheduler
+// options for sched.Build.
+type Bundle struct {
+	Spec   Spec
+	Config workloads.Config
+	MCM    *chiplet.MCM
+	Sched  sched.Options
+}
+
+// Compile defaults, validates and instantiates the spec. The returned
+// bundle's scheduler options carry no cache; the runner (or caller)
+// attaches one.
+func (s Spec) Compile() (Bundle, error) {
+	sp := s.WithDefaults()
+	if err := sp.Validate(); err != nil {
+		return Bundle{}, err
+	}
+	style, err := sp.style()
+	if err != nil {
+		return Bundle{}, err
+	}
+	m, err := buildMCM(sp.Package, style)
+	if err != nil {
+		return Bundle{}, fmt.Errorf("scenario %s: %w", sp.Name, err)
+	}
+	if sp.NoP != nil {
+		m.NoP = *sp.NoP
+	}
+	opts := sched.DefaultOptions()
+	if sp.Tolerance > 0 {
+		opts.Tolerance = sp.Tolerance
+	}
+	return Bundle{Spec: sp, Config: sp.Workload, MCM: m, Sched: opts}, nil
+}
+
+func buildMCM(pkg string, style dataflow.Style) (*chiplet.MCM, error) {
+	switch pkg {
+	case "simba36":
+		return chiplet.Simba36(style), nil
+	case "dual72":
+		return chiplet.DualSimba72(style), nil
+	case "mono1":
+		return chiplet.Baseline(1, style), nil
+	case "mono2":
+		return chiplet.Baseline(2, style), nil
+	case "mono4":
+		return chiplet.Baseline(4, style), nil
+	}
+	w, h, err := parsePackage(pkg)
+	if err != nil {
+		return nil, err
+	}
+	return chiplet.New(fmt.Sprintf("simba-%dx%d", w, h), w, h, nop.DefaultParams(),
+		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+}
+
+// Generator builds the scenario's deterministic trace generator for the
+// given seed (the runner derives one seed per trace window).
+func (s Spec) Generator(seed uint64) *trace.Generator {
+	g := trace.NewGenerator(seed)
+	g.Cameras = int(s.Workload.Cameras)
+	g.FPS = s.CameraFPS
+	g.JitterMs = s.JitterMs
+	g.FrameSize = s.Workload.InputH * s.Workload.InputW * 3 / 2 // YUV420
+	return g
+}
+
+// ParseSpec decodes and validates a JSON scenario spec, applying
+// defaults to unset fields. Unknown JSON fields and trailing content
+// after the spec object are rejected so typos and botched merges in
+// hand-written specs fail loudly.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: trailing content after spec object")
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Registry --------------------------------------------------------------
+
+// Registry returns the named scenario library in its canonical order.
+// Every entry is defaulted and validated by construction (the package
+// test compiles each one); the slice is freshly allocated so callers may
+// mutate entries.
+func Registry() []Spec {
+	urban := workloads.DefaultConfig()
+
+	highway := urban
+	highway.Cameras = 5
+
+	robotaxi := urban
+	robotaxi.Cameras = 12
+	robotaxi.InputH = 1080
+	robotaxi.InputW = 1920
+
+	degraded := urban
+	degraded.Cameras = 6
+
+	lowlat := urban
+	lowlat.GridH = 100
+	lowlat.GridW = 40
+	lowlat.AttnWindow = 48
+	lowlat.TemporalFrames = 6
+
+	deepq := urban
+	deepq.TemporalFrames = 16
+
+	specs := []Spec{
+		{
+			Name:        "urban-8cam",
+			Description: "paper operating point: 8x720p rig, 6x6 Simba MCM, OS dataflow",
+			Workload:    urban,
+			CameraFPS:   4,
+		},
+		{
+			Name:        "highway-5cam",
+			Description: "front-biased highway rig: 5 cameras at a higher camera rate",
+			Workload:    highway,
+			CameraFPS:   5,
+		},
+		{
+			Name:        "robotaxi-12cam-hires",
+			Description: "12x1080p robotaxi suite on the dual-NPU 12x6 package",
+			Workload:    robotaxi,
+			Package:     "dual72",
+			CameraFPS:   3,
+			Frames:      24,
+		},
+		{
+			Name:        "degraded-camera-dropout",
+			Description: "urban rig with two failed cameras (6 of 8 live), same deadline budget",
+			Workload:    degraded,
+			CameraFPS:   4,
+			DeadlineMs:  DefaultDeadlinePeriods * 1e3 / 4, // keep the 8-cam budget
+		},
+		{
+			Name:        "lowlatency-smallgrid",
+			Description: "reduced 100x40 BEV grid and shallow temporal queue for a tight deadline",
+			Workload:    lowlat,
+			CameraFPS:   12,
+			DeadlineMs:  450,
+		},
+		{
+			Name:        "bigpackage-12x6",
+			Description: "default workload with both NPUs active (72-chiplet 12x6 mesh)",
+			Workload:    urban,
+			Package:     "dual72",
+			CameraFPS:   6,
+		},
+		{
+			Name:        "deep-temporal-16",
+			Description: "16-frame temporal fusion queue (paper uses 12)",
+			Workload:    deepq,
+			CameraFPS:   4,
+		},
+		{
+			Name:        "ws-dataflow-8cam",
+			Description: "dataflow ablation: the urban scenario on an all-WS package",
+			Workload:    urban,
+			Dataflow:    "WS",
+			CameraFPS:   4,
+		},
+		{
+			Name:        "mono-baseline-1x9216",
+			Description: "monolithic baseline: one 9216-PE die at the same PE budget",
+			Workload:    urban,
+			Package:     "mono1",
+			CameraFPS:   2,
+		},
+		{
+			Name:        "mono-baseline-4x2304",
+			Description: "few-chip baseline: four 2304-PE dies at the same PE budget",
+			Workload:    urban,
+			Package:     "mono4",
+			CameraFPS:   4,
+		},
+	}
+	for i := range specs {
+		specs[i].JitterMs = 1.5 // the paper's bounded arrival jitter
+		specs[i] = specs[i].WithDefaults()
+	}
+	return specs
+}
+
+// Lookup returns the registry scenario with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (have: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registry scenario names in canonical order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, s := range reg {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Filter returns the registry scenarios whose name contains the
+// substring (all of them for an empty filter).
+func Filter(substr string) []Spec {
+	var out []Spec
+	for _, s := range Registry() {
+		if strings.Contains(s.Name, substr) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
