@@ -1,6 +1,7 @@
 GO ?= go
+SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build fmt vet test race bench check golden
+.PHONY: all build fmt vet lint test race bench bench-json bench-baseline bench-check check golden
 
 all: check
 
@@ -17,6 +18,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint is vet plus staticcheck when the binary is available (CI installs
+# it; local environments without it still get the vet half).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -31,11 +41,37 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# BENCH_RUN is the one shared measurement methodology: every benchmark
+# 5 times at -benchtime=1x. bench-json and bench-baseline must measure
+# identically or the >20% regression gate compares apples to oranges.
+BENCH_RUN = $(GO) test -run=NONE -bench=. -benchtime=1x -count=5 ./... > bench.out
+
+# bench-json measures the working tree and distills the median ns/op
+# per benchmark into BENCH_<sha>.json via cmd/benchdiff.
+bench-json:
+	$(BENCH_RUN)
+	$(GO) run ./cmd/benchdiff -parse bench.out -out BENCH_$(SHA).json -force
+	@echo wrote BENCH_$(SHA).json
+
+# bench-baseline refreshes the committed regression baseline. Run it
+# after an intentional performance change — on the machine class that
+# enforces the gate — and commit the diff.
+bench-baseline:
+	$(BENCH_RUN)
+	$(GO) run ./cmd/benchdiff -parse bench.out -out BENCH_baseline.json -force
+	@echo refreshed BENCH_baseline.json
+
+# bench-check is the CI bench-regression lane: measure the working tree
+# and fail on any >20% median regression against the committed baseline.
+bench-check: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(SHA).json -threshold 20
+
 # golden regenerates the snapshot files after an intentional change to
 # the analytic stack; review the diff before committing.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 	$(GO) test ./internal/scenario -run TestListTableGolden -update
+	$(GO) test ./cmd/pareto -run TestTopTableGolden -update
 
 # check is the tier-1 gate, mirrored by .github/workflows/ci.yml:
 # build + format + vet + race-enabled tests + bench smoke.

@@ -15,7 +15,9 @@ import (
 
 	"mcmnpu/internal/dse"
 	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/pareto"
 	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/scenario"
 	"mcmnpu/internal/sched"
 	"mcmnpu/internal/sim"
 	"mcmnpu/internal/sweep"
@@ -352,7 +354,7 @@ func BenchmarkSweepGridParallel(b *testing.B) {
 
 func benchmarkSweepGrid(b *testing.B, eng *sweep.Engine) {
 	cfg := workloads.DefaultConfig()
-	scenarios := eng.DefaultGrid()
+	scenarios := experiments.DefaultGrid(eng)
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -362,6 +364,57 @@ func benchmarkSweepGrid(b *testing.B, eng *sweep.Engine) {
 			}
 		}
 	}
+}
+
+// BenchmarkFrontierSweep measures the analytic mesh x dataflow Pareto
+// frontier summary (the experiments-layer view of the multi-objective
+// explorer).
+func BenchmarkFrontierSweep(b *testing.B) {
+	cfg := workloads.DefaultConfig()
+	var rows []experiments.FrontierSweepRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.FrontierSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("frontier-sweep", func() {
+		experiments.FrontierSweepTable(rows).Render(os.Stdout)
+		fmt.Println()
+	})
+}
+
+// BenchmarkParetoExplore measures the full multi-objective exploration
+// (lower-bound fan-out, dominance pruning, streamed full runs) over the
+// default candidate space against the urban scenario.
+func BenchmarkParetoExplore(b *testing.B) {
+	sp, err := scenario.Lookup("urban-8cam")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var rep pareto.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(0) // fresh engine: cold cache each iteration
+		rep, err = pareto.Explore(ctx, pareto.Space{}, pareto.Options{
+			Scenarios:    []scenario.Spec{sp},
+			Frames:       8,
+			WindowFrames: 4,
+			Engine:       eng,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("pareto-explore", func() {
+		fmt.Printf("pareto: %d candidates, %d evaluated, %d pruned, frontier %d\n\n",
+			len(rep.Evals), rep.Evaluated, rep.Pruned, len(rep.Frontier))
+	})
 }
 
 // BenchmarkSchedulerOnly isolates Algorithm 1's own runtime (the paper

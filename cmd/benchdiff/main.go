@@ -1,0 +1,237 @@
+// Command benchdiff is the benchmark-regression gate behind the CI
+// bench lane. It has two modes:
+//
+// Parse mode distills `go test -bench` text output (typically
+// -benchtime=1x -count=5) into a JSON artifact holding the median
+// ns/op per benchmark:
+//
+//	benchdiff -parse bench.out -out BENCH_abc123.json
+//
+// Compare mode diffs such an artifact against the committed baseline
+// and exits non-zero when any benchmark's median regressed by more
+// than -threshold percent:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_abc123.json -threshold 20
+//
+// Benchmarks whose baseline median is below -floor nanoseconds
+// (default 20 ms) are reported but never fail the gate: at
+// -benchtime=1x a single iteration of a short benchmark swings tens of
+// percent with scheduler and cache luck, so its median is noise, not
+// signal — empirically, same-code reruns drift <5% above the 20 ms
+// floor and up to ~50% below it. Benchmarks that exist only on one
+// side are warned about (refresh the baseline with `make
+// bench-baseline`) without failing the lane.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"mcmnpu/internal/report"
+)
+
+// Artifact is the on-disk JSON schema: median ns/op and sample count
+// per benchmark. Map keys marshal sorted, so artifacts are
+// byte-reproducible for identical inputs.
+type Artifact struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Samples map[string]int     `json:"samples"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parse     = fs.String("parse", "", "parse `go test -bench` text output from this file ('-' = stdin)")
+		out       = fs.String("out", "", "write the parsed JSON artifact here (default stdout)")
+		force     = fs.Bool("force", false, "overwrite an existing -out file")
+		baseline  = fs.String("baseline", "", "baseline JSON artifact to compare against")
+		current   = fs.String("current", "", "current JSON artifact to compare")
+		threshold = fs.Float64("threshold", 20, "fail on median regressions above this percent")
+		floor     = fs.Float64("floor", 20e6, "ignore regressions on benchmarks with baseline median below this many ns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *parse != "":
+		return runParse(*parse, *out, *force, stdout, stderr)
+	case *baseline != "" && *current != "":
+		return runCompare(*baseline, *current, *threshold, *floor, stdout, stderr)
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName-8   	       1	 139669317 ns/op
+//
+// The -8 GOMAXPROCS suffix is stripped so artifacts compare across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects every ns/op sample per benchmark name.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, sc.Err()
+}
+
+// median of a sample set (mean of the middle pair for even counts).
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func runParse(in, out string, force bool, stdout, stderr io.Writer) int {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := parseBench(r)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found")
+		return 1
+	}
+	art := Artifact{NsPerOp: map[string]float64{}, Samples: map[string]int{}}
+	for name, vs := range samples {
+		art.NsPerOp[name] = median(vs)
+		art.Samples[name] = len(vs)
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	b = append(b, '\n')
+	dest, err := report.OpenArtifact(out, force, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Flush checks write AND close errors: a truncated baseline behind
+	// an exit-0 would silently poison every future regression gate.
+	if err := dest.Flush(func(w io.Writer) { w.Write(b) }); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func loadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return a, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(a.NsPerOp) == 0 {
+		return a, fmt.Errorf("benchdiff: %s holds no benchmarks", path)
+	}
+	return a, nil
+}
+
+func runCompare(basePath, curPath string, threshold, floor float64, stdout, stderr io.Writer) int {
+	base, err := loadArtifact(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cur, err := loadArtifact(curPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	t := report.NewTable(
+		fmt.Sprintf("Benchmark medians vs %s (fail > +%.0f%%, floor %.0f µs)", basePath, threshold, floor/1e3),
+		"Benchmark", "Base(ms)", "Current(ms)", "Delta(%)", "Verdict")
+	regressions := 0
+	for _, name := range names {
+		b := base.NsPerOp[name]
+		c, ok := cur.NsPerOp[name]
+		if !ok {
+			fmt.Fprintf(stderr, "benchdiff: %s missing from %s (refresh the baseline with `make bench-baseline`)\n",
+				name, curPath)
+			continue
+		}
+		delta := 0.0
+		if b > 0 {
+			delta = (c - b) / b * 100
+		}
+		verdict := "ok"
+		switch {
+		case b < floor:
+			verdict = "below floor (informational)"
+		case delta > threshold:
+			verdict = "REGRESSION"
+			regressions++
+		}
+		t.AddRow(name, b/1e6, c/1e6, delta, verdict)
+	}
+	newNames := make([]string, 0, len(cur.NsPerOp))
+	for name := range cur.NsPerOp {
+		if _, ok := base.NsPerOp[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Fprintf(stderr, "benchdiff: %s is new (not in baseline; add it with `make bench-baseline`)\n", name)
+	}
+	t.Render(stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	return 0
+}

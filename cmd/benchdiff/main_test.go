@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: mcmnpu
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFast-8     	       1	     50000 ns/op
+BenchmarkFast-8     	       1	     60000 ns/op
+BenchmarkFast-8     	       1	     70000 ns/op
+BenchmarkSlow-8     	       1	 200000000 ns/op
+BenchmarkSlow-8     	       1	 210000000 ns/op
+BenchmarkSlow-8     	       1	 220000000 ns/op
+BenchmarkSlow-8     	       1	 230000000 ns/op
+BenchmarkSlow-8     	       1	 240000000 ns/op
+PASS
+ok  	mcmnpu	2.153s
+`
+
+func writeArtifact(t *testing.T, path string, ns map[string]float64) {
+	t.Helper()
+	samples := map[string]int{}
+	for k := range ns {
+		samples[k] = 5
+	}
+	b, err := json.Marshal(Artifact{NsPerOp: ns, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMedians(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-parse", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var art Artifact
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	// Odd sample count: the middle value; GOMAXPROCS suffix stripped.
+	if got := art.NsPerOp["BenchmarkFast"]; got != 60000 {
+		t.Errorf("BenchmarkFast median = %v, want 60000", got)
+	}
+	if got := art.NsPerOp["BenchmarkSlow"]; got != 220000000 {
+		t.Errorf("BenchmarkSlow median = %v, want 220000000", got)
+	}
+	if art.Samples["BenchmarkSlow"] != 5 {
+		t.Errorf("samples = %d, want 5", art.Samples["BenchmarkSlow"])
+	}
+
+	// -out without -force refuses to clobber.
+	var errOut strings.Builder
+	if code := run([]string{"-parse", in, "-out", out}, &stdout, &errOut); code != 1 {
+		t.Errorf("clobber should exit 1, got %d", code)
+	}
+	if code := run([]string{"-parse", in, "-out", out, "-force"}, &stdout, &errOut); code != 0 {
+		t.Errorf("-force rewrite failed: %s", errOut.String())
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := median([]float64{1, 2, 3, 10}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkSlow": 200e6, "BenchmarkOK": 100e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkSlow": 260e6, "BenchmarkOK": 105e6})
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", base, "-current", cur, "-threshold", "20"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("30%% regression should exit 1, got %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("table should flag the regression:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "regressed") {
+		t.Errorf("stderr summary missing: %s", stderr.String())
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkSlow": 200e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkSlow": 230e6}) // +15%
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "20"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("15%% drift should pass, got exit %d\n%s", code, stdout.String())
+	}
+	// Improvements obviously pass too.
+	writeArtifact(t, cur, map[string]float64{"BenchmarkSlow": 100e6})
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Errorf("improvement should pass, got exit %d", code)
+	}
+}
+
+// TestCompareFloor: sub-floor benchmarks are timer noise at
+// -benchtime=1x and never fail the gate, however large the delta.
+func TestCompareFloor(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkTiny": 5000})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkTiny": 50000}) // 10x, but tiny
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("sub-floor regression should not fail the lane, got exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "below floor") {
+		t.Errorf("sub-floor row should be marked informational:\n%s", stdout.String())
+	}
+}
+
+// TestCompareMissingAndNew: membership drift warns (pointing at `make
+// bench-baseline`) without failing the lane.
+func TestCompareMissingAndNew(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkGone": 200e6, "BenchmarkKept": 150e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkKept": 150e6, "BenchmarkNew": 100e6})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("membership drift should not fail, got exit %d (stderr: %s)", code, stderr.String())
+	}
+	for _, want := range []string{"BenchmarkGone", "BenchmarkNew", "bench-baseline"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr should mention %s: %s", want, stderr.String())
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.out")
+	os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644)
+	notJSON := filepath.Join(dir, "bad.json")
+	os.WriteFile(notJSON, []byte("{"), 0o644)
+
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{nil, 2}, // no mode selected
+		{[]string{"-nope"}, 2},
+		{[]string{"-parse", filepath.Join(dir, "missing")}, 1},
+		{[]string{"-parse", empty}, 1},
+		{[]string{"-baseline", notJSON, "-current", notJSON}, 1},
+		{[]string{"-baseline", filepath.Join(dir, "missing"), "-current", notJSON}, 1},
+	}
+	for _, c := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(c.args, &stdout, &stderr); code != c.code {
+			t.Errorf("args %v: exit %d, want %d", c.args, code, c.code)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Command pareto runs the multi-objective design-space exploration:
+// candidate MCM configurations (mesh size x dataflow x NoP bandwidth)
+// are scored against one or more registry scenarios on realized p99
+// latency, per-frame energy and total PE count, and the non-dominated
+// frontier is reported. Candidate x scenario lower bounds fan across a
+// worker pool and dominance pruning skips full streaming runs that
+// could never reach the frontier; the frontier is bit-for-bit identical
+// across worker counts.
+//
+// Usage:
+//
+//	pareto -scenarios urban-8cam                       # frontier table
+//	pareto -scenarios urban-8cam,highway-5cam -top 5   # ranked top-5
+//	pareto -scenarios all -json -o frontier.json       # machine-readable export
+//	pareto -scenarios urban-8cam -meshes 4x4,6x6 -linkbw 100,200 -csv
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, writes to
+// the given streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pareto", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenarios  = fs.String("scenarios", "", `comma-separated registry scenarios ("all" = whole registry)`)
+		meshes     = fs.String("meshes", "", "candidate meshes as WxH list (default 4x4,6x6,8x8,12x6)")
+		dataflows  = fs.String("dataflows", "", "candidate dataflows (default OS,WS)")
+		linkbw     = fs.String("linkbw", "", "candidate NoP link bandwidths in GB/s (default package default)")
+		objectives = fs.String("objectives", "", "objective subset of p99,energy,pes (default all)")
+		frames     = fs.Int("frames", 0, "frame budget override per scenario (0 = scenario default)")
+		window     = fs.Int("window", 16, "trace-window size in frames")
+		workers    = fs.Int("workers", 0, "worker count for the evaluation pool (0 = NumCPU)")
+		serial     = fs.Bool("serial", false, "evaluate in-line instead of through the pool")
+		noprune    = fs.Bool("noprune", false, "disable dominance-based early pruning")
+		top        = fs.Int("top", 0, "render the top-N frontier candidates ranked by objective product")
+		jsonOut    = fs.Bool("json", false, "emit the full report as JSON")
+		csvOut     = fs.Bool("csv", false, "emit the table as CSV")
+		outPath    = fs.String("o", "", "write output to a file instead of stdout")
+		force      = fs.Bool("force", false, "overwrite an existing -o file")
+		timeout    = fs.Duration("timeout", 0, "overall deadline (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scenarios == "" {
+		fs.Usage()
+		return 2
+	}
+
+	specs, err := selectScenarios(*scenarios)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	space, err := parseSpace(*meshes, *dataflows, *linkbw)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	objs, err := pareto.ParseObjectives(*objectives)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	// The output artifact opens after input validation but before the
+	// exploration: a stale artifact fails the run immediately instead of
+	// discarding a completed multi-minute exploration, and a typo in the
+	// flags never truncates an existing artifact under -force.
+	art, err := report.OpenArtifact(*outPath, *force, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := pareto.Options{
+		Scenarios:    specs,
+		Objectives:   objs,
+		Frames:       *frames,
+		WindowFrames: *window,
+		NoPrune:      *noprune,
+	}
+	if !*serial {
+		opts.Engine = sweep.New(*workers)
+	}
+	rep, err := pareto.Explore(ctx, space, opts)
+	if err != nil {
+		art.Abort()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	var jsonBytes []byte
+	if *jsonOut {
+		if jsonBytes, err = json.MarshalIndent(rep, "", "  "); err != nil {
+			art.Abort()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	err = art.Flush(func(w io.Writer) {
+		switch {
+		case *jsonOut:
+			fmt.Fprintln(w, string(jsonBytes))
+		case *csvOut:
+			fmt.Fprint(w, table(rep, *top).CSV())
+		default:
+			table(rep, *top).Render(w)
+			fmt.Fprintf(w, "%d candidates: %d evaluated, %d pruned, %d infeasible; frontier size %d\n",
+				len(rep.Evals), rep.Evaluated, rep.Pruned, rep.Infeasible, len(rep.Frontier))
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func table(rep pareto.Report, top int) *report.Table {
+	if top > 0 {
+		return pareto.TopTable(rep, top)
+	}
+	return pareto.FrontierTable(rep)
+}
+
+// selectScenarios resolves the -scenarios flag against the registry.
+func selectScenarios(csv string) ([]scenario.Spec, error) {
+	if csv == "all" {
+		return scenario.Registry(), nil
+	}
+	var specs []scenario.Spec
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sp, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("pareto: no scenarios selected")
+	}
+	return specs, nil
+}
+
+// parseSpace assembles the candidate space from the CLI flags (empty
+// flags keep the package defaults).
+func parseSpace(meshes, dataflows, linkbw string) (pareto.Space, error) {
+	var s pareto.Space
+	if meshes != "" {
+		m, err := pareto.ParseMeshes(meshes)
+		if err != nil {
+			return s, err
+		}
+		s.Meshes = m
+	}
+	if dataflows != "" {
+		for _, df := range strings.Split(dataflows, ",") {
+			df = strings.TrimSpace(df)
+			switch df {
+			case "OS", "WS":
+				s.Dataflows = append(s.Dataflows, df)
+			case "":
+			default:
+				return s, fmt.Errorf("pareto: unknown dataflow %q (want OS or WS)", df)
+			}
+		}
+	}
+	if linkbw != "" {
+		for _, f := range strings.Split(linkbw, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			var bw float64
+			if _, err := fmt.Sscanf(f, "%g", &bw); err != nil || bw <= 0 {
+				return s, fmt.Errorf("pareto: malformed link bandwidth %q", f)
+			}
+			s.LinkBWGBs = append(s.LinkBWGBs, bw)
+		}
+	}
+	return s, nil
+}

@@ -10,7 +10,8 @@
 //	scenarios -list                             # the scenario library
 //	scenarios -list -filter mono                # subset by substring
 //	scenarios -run urban-8cam -frames 64 -json  # one scenario, machine-readable
-//	scenarios -all -csv                         # every scenario, CSV artifact
+//	scenarios -all -csv -o results.csv          # every scenario, CSV artifact
+//	                                            # (-o refuses to overwrite without -force)
 //	scenarios -spec custom.json                 # a spec from a JSON file
 package main
 
@@ -48,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serial   = fs.Bool("serial", false, "stream windows in-line instead of through the pool")
 		jsonOut  = fs.Bool("json", false, "emit JSON")
 		csvOut   = fs.Bool("csv", false, "emit CSV")
+		outPath  = fs.String("o", "", "write -json/-csv output to a file instead of stdout")
+		force    = fs.Bool("force", false, "overwrite an existing -o file")
 		timeout  = fs.Duration("timeout", 0, "overall deadline (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +59,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*list && *runName == "" && !*all && *specFile == "" {
 		fs.Usage()
 		return 2
+	}
+
+	// The -o artifact opens after input validation but before any
+	// scenario runs: a stale artifact fails the run up front (never at
+	// the end of a long -all batch), and a typo in the flags never
+	// truncates an existing artifact under -force. emitOut flushes with
+	// write/close errors checked and returns the process exit code.
+	emitOut := func(a *report.Artifact, t *report.Table) int {
+		if err := a.Flush(func(w io.Writer) { emit(w, t, *jsonOut, *csvOut) }); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,8 +88,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "no scenario matches %q\n", *filter)
 			return 2
 		}
-		emit(stdout, scenario.ListTable(specs), *jsonOut, *csvOut)
-		return 0
+		art, err := report.OpenArtifact(*outPath, *force, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return emitOut(art, scenario.ListTable(specs))
 	}
 
 	var specs []scenario.Spec
@@ -105,17 +125,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	art, err := report.OpenArtifact(*outPath, *force, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
 	opts := scenario.RunOptions{Frames: *frames, WindowFrames: *window}
 	if !*serial {
 		opts.Engine = sweep.New(*workers)
 	}
 	results, err := scenario.RunAll(ctx, specs, opts)
 	if err != nil {
+		art.Abort()
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	emit(stdout, scenario.ResultsTable(results), *jsonOut, *csvOut)
-	return 0
+	return emitOut(art, scenario.ResultsTable(results))
 }
 
 func emit(w io.Writer, t *report.Table, asJSON, asCSV bool) {

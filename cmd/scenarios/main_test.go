@@ -88,6 +88,55 @@ func TestNoActionUsage(t *testing.T) {
 	}
 }
 
+// TestOutputFileRefusesClobber: -json/-csv share the -o output path,
+// which must never silently overwrite an existing artifact — a rerun
+// without -force fails before any scenario executes.
+func TestOutputFileRefusesClobber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.json")
+	args := []string{"-run", "urban-8cam", "-frames", "4", "-window", "4", "-json", "-o", path}
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	first, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(first), `"urban-8cam"`) {
+		t.Fatalf("artifact not written: %v, %q", err, first)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-o should silence stdout, got %q", out.String())
+	}
+
+	errOut.Reset()
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Fatalf("rerun without -force should exit 1, got %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-force") {
+		t.Errorf("clobber error should mention -force: %s", errOut.String())
+	}
+	if got, _ := os.ReadFile(path); string(got) != string(first) {
+		t.Error("refused run still modified the artifact")
+	}
+
+	// Invalid input with -force must not truncate the existing artifact:
+	// the file only opens after the scenario selection validates.
+	if code := run([]string{"-run", "no-such", "-json", "-o", path, "-force"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad scenario with -o should exit 2, got %d", code)
+	}
+	if got, _ := os.ReadFile(path); string(got) != string(first) {
+		t.Error("failed -force run truncated the previous artifact")
+	}
+
+	// -force overwrites; -csv through the same path works too.
+	csvArgs := []string{"-run", "urban-8cam", "-frames", "4", "-window", "4", "-csv", "-o", path, "-force"}
+	if code := run(csvArgs, &out, &errOut); code != 0 {
+		t.Fatalf("-force overwrite failed: %s", errOut.String())
+	}
+	if got, _ := os.ReadFile(path); !strings.Contains(string(got), "Scenario,") {
+		t.Errorf("-force did not replace the artifact: %q", got)
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {

@@ -62,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *dseFlag {
 		start := time.Now()
-		r, err := eng.TableIParallel(ctx, cfg, *lcstr)
+		r, err := experiments.TableIParallel(ctx, eng, cfg, *lcstr)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -75,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	exit := 0
 	if *grid {
-		all := eng.DefaultGrid()
+		all := experiments.DefaultGrid(eng)
 		selected := filterScenarios(all, *scenarios)
 		if len(selected) == 0 {
 			fmt.Fprintf(stderr, "no scenario matches %q (have: %s)\n",

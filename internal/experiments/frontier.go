@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/workloads"
+)
+
+// Frontier summary in the camera-/mesh-sweep family: the analytic
+// latency/energy/area trade-off across package sizes and dataflows,
+// with the Pareto-dominated points called out. Where MeshSweep answers
+// "how does the package scale", the frontier column answers "which of
+// these points would a designer ever pick". (The realized-p99 frontier
+// over streamed scenarios lives in internal/pareto / cmd/pareto; this
+// sweep is the schedule-level view that fits the golden/bench harness.)
+
+// FrontierSweepRow is one (mesh, dataflow) point of the analytic
+// frontier sweep.
+type FrontierSweepRow struct {
+	Mesh      string
+	Dataflow  string
+	Chiplets  int
+	PEs       int64
+	PipeLatMs float64
+	EnergyJ   float64
+	UtilPct   float64
+	Feasible  bool
+	Reason    string
+	// OnFrontier marks membership of the pipeline-latency / energy / PE
+	// non-dominated set over the feasible rows.
+	OnFrontier bool
+}
+
+// FrontierSweep schedules the full pipeline on each k x k mesh (nil
+// sizes use DefaultMeshSizes) under both dataflows and computes the
+// non-dominated set over (pipeline latency, per-frame energy, total
+// PEs). Infeasible points are reported but excluded from the frontier.
+func FrontierSweep(cfg workloads.Config, sizes []int) ([]FrontierSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultMeshSizes
+	}
+	var rows []FrontierSweepRow
+	var f pareto.Frontier
+	for _, k := range sizes {
+		for _, style := range []dataflow.Style{dataflow.OS, dataflow.WS} {
+			m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
+				func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+			if err != nil {
+				return nil, err
+			}
+			row := FrontierSweepRow{
+				Mesh:     fmt.Sprintf("%dx%d", k, k),
+				Dataflow: style.String(),
+				Chiplets: m.Chiplets(),
+				PEs:      m.TotalPEs(),
+			}
+			p, err := workloads.Perception(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sched.Build(p, m, schedOptions())
+			if err != nil {
+				row.Reason = err.Error()
+				rows = append(rows, row)
+				continue
+			}
+			mt := pipeline.Compute(s, pipeline.Layerwise)
+			row.PipeLatMs = mt.PipeLatMs
+			row.EnergyJ = mt.EnergyJ
+			row.UtilPct = mt.UtilPct
+			row.Feasible = true
+			f.Add(pareto.Point{
+				Name: row.Mesh + "/" + row.Dataflow,
+				Vec:  []float64{row.PipeLatMs, row.EnergyJ, float64(row.PEs)},
+			})
+			rows = append(rows, row)
+		}
+	}
+	on := map[string]bool{}
+	for _, p := range f.Points() {
+		on[p.Name] = true
+	}
+	for i := range rows {
+		rows[i].OnFrontier = rows[i].Feasible && on[rows[i].Mesh+"/"+rows[i].Dataflow]
+	}
+	return rows, nil
+}
+
+// FrontierSweepTable renders the frontier sweep.
+func FrontierSweepTable(rows []FrontierSweepRow) *report.Table {
+	t := report.NewTable("Scenario — Pareto frontier over mesh x dataflow (pipe latency / energy / PEs)",
+		"Mesh", "Dataflow", "Chiplets", "PEs", "Pipe Lat(ms)", "Energy(J)",
+		"Utilization(%)", "Feasible", "Frontier")
+	for _, r := range rows {
+		feas := fmt.Sprintf("%v", r.Feasible)
+		if !r.Feasible && r.Reason != "" {
+			feas = "no: " + r.Reason
+		}
+		front := ""
+		if r.OnFrontier {
+			front = "*"
+		}
+		t.AddRow(r.Mesh, r.Dataflow, r.Chiplets, r.PEs, r.PipeLatMs, r.EnergyJ,
+			r.UtilPct, feas, front)
+	}
+	return t
+}

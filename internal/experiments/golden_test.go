@@ -57,6 +57,14 @@ func TestGoldenCameraSweep(t *testing.T) {
 	checkGolden(t, "camera_sweep.golden", CameraSweepTable(rows).String())
 }
 
+func TestGoldenFrontierSweep(t *testing.T) {
+	rows, err := FrontierSweep(workloads.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "frontier_sweep.golden", FrontierSweepTable(rows).String())
+}
+
 func TestGoldenMeshSweep(t *testing.T) {
 	rows, err := MeshSweep(workloads.DefaultConfig(), nil)
 	if err != nil {

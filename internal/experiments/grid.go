@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+// Grid wiring: the named experiment scenarios a sweep.Engine can run
+// concurrently. This lives here rather than in internal/sweep so the
+// engine stays a pure execution layer (workers, cancellation, reduce)
+// while the domain knowledge — which experiments exist and how they
+// render — stays with the experiments.
+
+// DefaultGrid returns the standard multi-scenario experiment grid: the
+// sweeps the paper varies one at a time (camera count, temporal queue
+// depth, NoP link parameters, mesh size, scheduler tolerance), the
+// mesh x dataflow Pareto frontier summary, plus a DSE Lcstr sweep that
+// exercises the parallel explorer itself. While the dse-lcstr scenario
+// runs it fans masks across the engine's own worker set, so a saturated
+// grid briefly holds up to twice the engine's workers — bounded, but
+// worth knowing when reading per-scenario timings.
+func DefaultGrid(e *sweep.Engine) []sweep.Scenario {
+	harness := func(run func(cfg workloads.Config) (*report.Table, error)) func(context.Context, workloads.Config) (*report.Table, error) {
+		return func(ctx context.Context, cfg workloads.Config) (*report.Table, error) {
+			// The experiment harnesses are not ctx-aware internally;
+			// honor cancellation at scenario entry.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return run(cfg)
+		}
+	}
+	return []sweep.Scenario{
+		{Name: "cameras", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := CameraSweep(cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			return CameraSweepTable(rows), nil
+		})},
+		{Name: "temporal-depth", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := TemporalDepthSweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return TemporalDepthTable(rows), nil
+		})},
+		{Name: "nop-bandwidth", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := NoPSensitivity(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return NoPSensitivityTable(rows), nil
+		})},
+		{Name: "mesh-size", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := MeshSweep(cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			return MeshSweepTable(rows), nil
+		})},
+		{Name: "frontier", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := FrontierSweep(cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			return FrontierSweepTable(rows), nil
+		})},
+		{Name: "tolerance", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
+			rows, err := ToleranceSweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return ToleranceSweepTable(rows), nil
+		})},
+		{Name: "dse-lcstr", Run: func(ctx context.Context, cfg workloads.Config) (*report.Table, error) {
+			return LcstrSweep(ctx, e, cfg, nil)
+		}},
+	}
+}
+
+// DefaultLcstrPoints are the latency-constraint points of the DSE Lcstr
+// scenario (ms), bracketing the paper's 85 ms operating point.
+var DefaultLcstrPoints = []float64{60, 70, 85, 100}
+
+// LcstrSweep re-runs the Het(2) exploration of Table I under a range of
+// latency constraints, showing how the feasible heterogeneous frontier
+// moves as Lcstr tightens. Each exploration fans its masks across the
+// engine.
+func LcstrSweep(ctx context.Context, e *sweep.Engine, cfg workloads.Config, lcstrs []float64) (*report.Table, error) {
+	if len(lcstrs) == 0 {
+		lcstrs = DefaultLcstrPoints
+	}
+	cfg.LaneContext = 0.6 // Table I's operating point (Fig 11)
+	trunks := workloads.Trunks(cfg)
+	t := report.NewTable("DSE — Het(2) trunks integration vs latency constraint",
+		"Lcstr(ms)", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "EDP(ms*J)", "WS nets", "Feasible")
+	for _, l := range lcstrs {
+		r, err := e.Explore(ctx, trunks, 9, 2, l)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(l, r.E2EMs, r.PipeLatMs, r.EnergyJ, r.EDP,
+			fmt.Sprintf("%d", len(r.WSNets)), fmt.Sprintf("%v", r.Feasible))
+	}
+	return t, nil
+}
+
+// TableIParallel runs Table I through the engine's parallel explorer
+// and wraps it in this package's formatting.
+func TableIParallel(ctx context.Context, e *sweep.Engine, cfg workloads.Config, lcstrMs float64) (TableIResult, error) {
+	cfg.LaneContext = 0.6
+	rows, err := e.TableI(ctx, workloads.Trunks(cfg), lcstrMs)
+	if err != nil {
+		return TableIResult{}, err
+	}
+	return TableIResult{Rows: rows, Lcstr: lcstrMs}, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+func TestDefaultGridRunsEveryScenario(t *testing.T) {
+	eng := sweep.New(4)
+	grid := DefaultGrid(eng)
+	names := make([]string, len(grid))
+	for i, s := range grid {
+		names[i] = s.Name
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"cameras", "mesh-size", "frontier", "dse-lcstr"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("grid missing scenario %s (have %s)", want, joined)
+		}
+	}
+	results := eng.RunGrid(context.Background(), workloads.DefaultConfig(), grid)
+	if len(results) != len(grid) {
+		t.Fatalf("results = %d, want %d", len(results), len(grid))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("scenario %s failed: %v", r.Scenario, r.Err)
+			continue
+		}
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Errorf("scenario %s produced no rows", r.Scenario)
+		}
+	}
+}
+
+func TestLcstrSweepTightensFeasibility(t *testing.T) {
+	eng := sweep.New(2)
+	tbl, err := LcstrSweep(context.Background(), eng, workloads.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(DefaultLcstrPoints) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(DefaultLcstrPoints))
+	}
+}

@@ -1,0 +1,467 @@
+// The explorer: candidate enumeration over (mesh, dataflow, NoP
+// bandwidth), a two-phase evaluation — cheap analytic lower bounds for
+// every candidate x scenario pair fanned across the sweep.Engine worker
+// pool, then full streaming runs for the survivors of dominance-based
+// pruning — and the report the CLI and experiments layers render.
+//
+// Determinism contract: the frontier is bit-for-bit identical across
+// worker counts and repetitions. The parallel phases write results by
+// index (no reduction order), and every pruning/insertion decision
+// happens in one serial loop over a deterministically sorted candidate
+// order, so parallelism never changes which candidates are pruned or
+// what the frontier contains.
+package pareto
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcmnpu/internal/costmodel"
+	"mcmnpu/internal/nop"
+	"mcmnpu/internal/pipeline"
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sched"
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+// lbSafety discounts the analytic latency bound in the pruning
+// comparison. The layerwise E2E latency and the event-driven
+// simulator's realized frame latency agree closely but not exactly —
+// stage-boundary transfers overlap differently, and the sim has been
+// observed to come in a few per-mille *under* the analytic E2E (e.g.
+// 460.4 ms realized vs 460.7 ms analytic on the 8x8/OS urban point).
+// A 2% haircut gives ~30x headroom over the observed skew while
+// keeping pruning effective; TestLowerBoundSound locks the discounted
+// bound over the whole default space.
+const lbSafety = 0.98
+
+// Objective keys, in canonical order: realized p99 frame latency (ms),
+// per-frame energy (J), and total PE count (the package-area proxy).
+const (
+	ObjP99    = "p99"
+	ObjEnergy = "energy"
+	ObjPEs    = "pes"
+)
+
+// AllObjectives is the canonical objective order. Selected subsets keep
+// this order regardless of how the user spelled them.
+var AllObjectives = []string{ObjP99, ObjEnergy, ObjPEs}
+
+// ParseObjectives parses a comma-separated objective list ("p99,pes")
+// into canonical order. Empty input selects all objectives.
+func ParseObjectives(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return append([]string(nil), AllObjectives...), nil
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		switch f {
+		case ObjP99, ObjEnergy, ObjPEs:
+			want[f] = true
+		case "":
+		default:
+			return nil, fmt.Errorf("pareto: unknown objective %q (have: %s)",
+				f, strings.Join(AllObjectives, ", "))
+		}
+	}
+	var out []string
+	for _, o := range AllObjectives {
+		if want[o] {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pareto: no objectives selected")
+	}
+	return out, nil
+}
+
+// MeshDim is a candidate package mesh of W x H 256-PE Simba chiplets.
+type MeshDim struct {
+	W, H int
+}
+
+func (m MeshDim) String() string { return fmt.Sprintf("%dx%d", m.W, m.H) }
+
+// ParseMeshes parses a comma-separated "WxH" list.
+func ParseMeshes(csv string) ([]MeshDim, error) {
+	var out []MeshDim
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var m MeshDim
+		if _, err := fmt.Sscanf(f, "%dx%d", &m.W, &m.H); err != nil || m.W < 1 || m.H < 1 {
+			return nil, fmt.Errorf("pareto: malformed mesh %q (want WxH)", f)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pareto: empty mesh list")
+	}
+	return out, nil
+}
+
+// Candidate is one point of the design space: a mesh of Simba chiplets,
+// a package-wide dataflow, and optionally a NoP link-bandwidth override
+// (0 keeps the package default).
+type Candidate struct {
+	Mesh      MeshDim
+	Dataflow  string
+	LinkBWGBs float64
+}
+
+// Name is the candidate's unique, stable identifier ("6x6/OS",
+// "8x8/WS/bw200").
+func (c Candidate) Name() string {
+	n := fmt.Sprintf("%s/%s", c.Mesh, c.Dataflow)
+	if c.LinkBWGBs > 0 {
+		n += fmt.Sprintf("/bw%g", c.LinkBWGBs)
+	}
+	return n
+}
+
+// Apply overlays the candidate's package configuration on a scenario
+// spec: the scenario keeps its workload, trace model and deadline while
+// the package under it becomes the candidate's.
+func (c Candidate) Apply(sp scenario.Spec) scenario.Spec {
+	sp.Package = fmt.Sprintf("mesh:%dx%d", c.Mesh.W, c.Mesh.H)
+	sp.Dataflow = c.Dataflow
+	if c.LinkBWGBs > 0 {
+		p := nop.DefaultParams()
+		if sp.NoP != nil {
+			p = *sp.NoP
+		}
+		p.LinkBWGBs = c.LinkBWGBs
+		sp.NoP = &p
+	}
+	return sp
+}
+
+// Space is the candidate cross product. Zero-valued fields fall back to
+// the defaults (DefaultSpace) at enumeration time.
+type Space struct {
+	Meshes    []MeshDim
+	Dataflows []string  // "OS" / "WS"
+	LinkBWGBs []float64 // 0 entries keep the package-default bandwidth
+}
+
+// DefaultSpace brackets the paper's 6x6/OS operating point: meshes from
+// a quarter package to the dual-NPU arrangement, both dataflows, and
+// the default interconnect.
+func DefaultSpace() Space {
+	return Space{
+		Meshes:    []MeshDim{{4, 4}, {6, 6}, {8, 8}, {12, 6}},
+		Dataflows: []string{"OS", "WS"},
+		LinkBWGBs: []float64{0},
+	}
+}
+
+// Candidates enumerates the cross product in deterministic order
+// (mesh-major, then dataflow, then bandwidth). Duplicate axis values
+// (e.g. "-meshes 6x6,6x6") collapse to one candidate — names are
+// unique, so a duplicate would otherwise be evaluated twice and render
+// twice in the frontier.
+func (s Space) Candidates() []Candidate {
+	d := DefaultSpace()
+	if len(s.Meshes) == 0 {
+		s.Meshes = d.Meshes
+	}
+	if len(s.Dataflows) == 0 {
+		s.Dataflows = d.Dataflows
+	}
+	if len(s.LinkBWGBs) == 0 {
+		s.LinkBWGBs = d.LinkBWGBs
+	}
+	var out []Candidate
+	seen := map[Candidate]bool{}
+	for _, m := range s.Meshes {
+		for _, df := range s.Dataflows {
+			for _, bw := range s.LinkBWGBs {
+				c := Candidate{Mesh: m, Dataflow: df, LinkBWGBs: bw}
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Eval is one candidate's evaluation record. Lower bounds are analytic
+// (one schedule + pipeline metrics per scenario); realized metrics come
+// from the streaming runner and are zero for pruned or infeasible
+// candidates.
+type Eval struct {
+	Candidate Candidate `json:"candidate"`
+	Name      string    `json:"name"`
+	Chiplets  int       `json:"chiplets"`
+	PEs       int64     `json:"pes"`
+
+	// Analytic lower bounds, worst case across the selected scenarios:
+	// LBLatMs is the layerwise end-to-end latency (pruning discounts it
+	// by lbSafety before comparing against realized p99 points),
+	// LBEnergyJ the analytic per-frame energy (exact by construction —
+	// the runner reports the same computation).
+	LBLatMs   float64 `json:"lb_lat_ms"`
+	LBEnergyJ float64 `json:"lb_energy_j"`
+
+	// Realized streaming metrics, worst case across scenarios.
+	P99Ms   float64 `json:"p99_ms"`
+	EnergyJ float64 `json:"energy_j"`
+
+	Pruned     bool   `json:"pruned"`
+	Infeasible bool   `json:"infeasible"`
+	Reason     string `json:"reason,omitempty"`
+	OnFrontier bool   `json:"on_frontier"`
+}
+
+// Options tunes one exploration.
+type Options struct {
+	// Scenarios are the registry (or custom) specs each candidate is
+	// evaluated against; at least one is required. Objectives aggregate
+	// worst-case across scenarios, so the frontier is robust over the
+	// whole selected set.
+	Scenarios []scenario.Spec
+	// Objectives selects and orders the frontier dimensions (default
+	// AllObjectives).
+	Objectives []string
+	// Frames / WindowFrames override the streaming runner per scenario
+	// (0 keeps each spec's defaults).
+	Frames       int
+	WindowFrames int
+	// Engine, when non-nil, fans the lower-bound phase across the worker
+	// pool and streams full-run trace windows through it; nil runs
+	// everything serially. Either way the report is bit-for-bit
+	// identical.
+	Engine *sweep.Engine
+	// NoPrune disables dominance-based early pruning, forcing a full
+	// streaming run for every feasible candidate.
+	NoPrune bool
+}
+
+// Report is one exploration's full outcome. Evals lists every candidate
+// in enumeration order; Frontier lists the non-dominated subset in the
+// frontier's canonical order. The report marshals to deterministic JSON
+// — the CLI's serial-vs-pool equivalence is asserted on those bytes.
+type Report struct {
+	Objectives []string `json:"objectives"`
+	Scenarios  []string `json:"scenarios"`
+	Evals      []Eval   `json:"evals"`
+	Frontier   []Eval   `json:"frontier"`
+	Evaluated  int      `json:"evaluated"`
+	Pruned     int      `json:"pruned"`
+	Infeasible int      `json:"infeasible"`
+}
+
+// Explore evaluates the space against the scenarios and returns the
+// frontier report.
+//
+// Phase 1 computes, for every candidate x scenario pair, the analytic
+// schedule metrics (fanned across the engine when present; results land
+// by index). Phase 2 walks the candidates in ascending lower-bound
+// order — a serial, deterministic loop — and for each one either prunes
+// it (its safety-discounted lower-bound vector is dominated by an
+// already-realized frontier point, so its realized point, which is
+// componentwise no better, would be too) or runs the full streaming
+// evaluation and offers the realized point to the frontier.
+func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
+	if len(opts.Scenarios) == 0 {
+		return Report{}, fmt.Errorf("pareto: no scenarios selected")
+	}
+	objectives := opts.Objectives
+	if len(objectives) == 0 {
+		objectives = append([]string(nil), AllObjectives...)
+	}
+	for _, o := range objectives {
+		switch o {
+		case ObjP99, ObjEnergy, ObjPEs:
+		default:
+			return Report{}, fmt.Errorf("pareto: unknown objective %q", o)
+		}
+	}
+	cands := space.Candidates()
+
+	rep := Report{
+		Objectives: objectives,
+		Evals:      make([]Eval, len(cands)),
+	}
+	for _, sp := range opts.Scenarios {
+		rep.Scenarios = append(rep.Scenarios, sp.Name)
+	}
+
+	// Phase 1: analytic lower bounds for every candidate x scenario.
+	ns := len(opts.Scenarios)
+	bounds := make([]bound, len(cands)*ns)
+	eachPair := func(i int) error {
+		c, sp := cands[i/ns], opts.Scenarios[i%ns]
+		bounds[i] = lowerBound(c.Apply(sp), cacheOf(opts.Engine))
+		return nil
+	}
+	if opts.Engine != nil {
+		if err := opts.Engine.Each(ctx, len(bounds), eachPair); err != nil {
+			return Report{}, err
+		}
+	} else {
+		for i := range bounds {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+			eachPair(i)
+		}
+	}
+
+	for ci, c := range cands {
+		e := Eval{Candidate: c, Name: c.Name()}
+		for si := 0; si < ns; si++ {
+			b := bounds[ci*ns+si]
+			if b.err != nil {
+				e.Infeasible = true
+				if e.Reason == "" {
+					e.Reason = b.err.Error()
+				}
+				continue
+			}
+			e.Chiplets, e.PEs = b.chips, b.pes
+			e.LBLatMs = max(e.LBLatMs, b.latMs)
+			e.LBEnergyJ = max(e.LBEnergyJ, b.energyJ)
+		}
+		rep.Evals[ci] = e
+	}
+
+	// Phase 2: deterministic pruning + full runs, cheapest lower bound
+	// first (realizing likely-frontier points early maximizes pruning).
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := rep.Evals[order[a]], rep.Evals[order[b]]
+		if ea.LBLatMs != eb.LBLatMs {
+			return ea.LBLatMs < eb.LBLatMs
+		}
+		if ea.LBEnergyJ != eb.LBEnergyJ {
+			return ea.LBEnergyJ < eb.LBEnergyJ
+		}
+		if ea.PEs != eb.PEs {
+			return ea.PEs < eb.PEs
+		}
+		return ea.Name < eb.Name
+	})
+
+	var frontier Frontier
+	for _, ci := range order {
+		e := &rep.Evals[ci]
+		if e.Infeasible {
+			rep.Infeasible++
+			continue
+		}
+		lb := objVec(objectives, e.LBLatMs*lbSafety, e.LBEnergyJ, e.PEs)
+		if !opts.NoPrune && frontier.DominatedBy(lb) {
+			e.Pruned = true
+			rep.Pruned++
+			continue
+		}
+		ropts := scenario.RunOptions{
+			Frames:       opts.Frames,
+			WindowFrames: opts.WindowFrames,
+			Engine:       opts.Engine,
+		}
+		for _, sp := range opts.Scenarios {
+			r, err := scenario.Run(ctx, e.Candidate.Apply(sp), ropts)
+			if err != nil {
+				return Report{}, fmt.Errorf("pareto %s: %w", e.Name, err)
+			}
+			e.P99Ms = max(e.P99Ms, r.P99Ms)
+			e.EnergyJ = max(e.EnergyJ, r.EnergyPerFrameJ)
+		}
+		rep.Evaluated++
+		frontier.Add(Point{Name: e.Name, Vec: objVec(objectives, e.P99Ms, e.EnergyJ, e.PEs)})
+	}
+
+	// The frontier settles only after every insertion (late points can
+	// evict earlier ones), so membership is flagged at the end.
+	on := map[string]bool{}
+	for _, p := range frontier.Points() {
+		on[p.Name] = true
+	}
+	for i := range rep.Evals {
+		rep.Evals[i].OnFrontier = on[rep.Evals[i].Name]
+	}
+	byName := map[string]Eval{}
+	for _, e := range rep.Evals {
+		byName[e.Name] = e
+	}
+	for _, p := range frontier.Points() {
+		rep.Frontier = append(rep.Frontier, byName[p.Name])
+	}
+	return rep, nil
+}
+
+// bound is one candidate x scenario analytic lower-bound sample.
+type bound struct {
+	latMs   float64
+	energyJ float64
+	pes     int64
+	chips   int
+	err     error
+}
+
+// lowerBound compiles one candidate-applied spec, builds its schedule
+// once and reads the analytic pipeline metrics. Shared with the full
+// run only through the layer-cost cache, so cached and uncached phases
+// agree bit-for-bit.
+func lowerBound(sp scenario.Spec, cache *costmodel.Cache) (b bound) {
+	bundle, err := sp.Compile()
+	if err != nil {
+		b.err = err
+		return b
+	}
+	p, err := workloads.Perception(bundle.Config)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	bundle.Sched.Cache = cache
+	s, err := sched.Build(p, bundle.MCM, bundle.Sched)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	b.latMs = m.E2EMs
+	b.energyJ = m.EnergyJ
+	b.pes = bundle.MCM.TotalPEs()
+	b.chips = bundle.MCM.Chiplets()
+	return b
+}
+
+// objVec assembles the objective vector in the selected canonical
+// order.
+func objVec(objectives []string, latMs, energyJ float64, pes int64) []float64 {
+	out := make([]float64, 0, len(objectives))
+	for _, o := range objectives {
+		switch o {
+		case ObjP99:
+			out = append(out, latMs)
+		case ObjEnergy:
+			out = append(out, energyJ)
+		case ObjPEs:
+			out = append(out, float64(pes))
+		}
+	}
+	return out
+}
+
+func cacheOf(e *sweep.Engine) *costmodel.Cache {
+	if e == nil {
+		return nil
+	}
+	return e.Cache()
+}

@@ -1,0 +1,114 @@
+// Package pareto is the multi-objective design-space explorer: it
+// evaluates candidate MCM configurations (mesh size, dataflow, NoP
+// bandwidth) against scenarios from the registry, scoring each candidate
+// on realized p99 latency, per-frame energy, and total PE count (an area
+// proxy), and maintains the non-dominated frontier of the explored
+// space. Where the single-objective sweeps in internal/dse and
+// internal/sweep answer "which configuration minimizes EDP", the
+// frontier answers the paper's underlying question directly: which
+// latency/energy/area trade-offs are even worth considering.
+//
+// This file holds the frontier itself — a deterministic, incrementally
+// pruned non-dominated set over minimization objective vectors.
+package pareto
+
+import "sort"
+
+// Point is one candidate's position in objective space. Vec holds the
+// selected objectives in canonical order; all objectives are minimized.
+// Name identifies the candidate (unique within an exploration).
+type Point struct {
+	Name string
+	Vec  []float64
+}
+
+// Dominates reports whether a dominates b: a is no worse in every
+// objective and strictly better in at least one. Vectors must have equal
+// length (the explorer guarantees it; mismatched lengths report false).
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Frontier is an incrementally maintained non-dominated set. The zero
+// value is an empty frontier ready for use. Frontier is not
+// goroutine-safe: the explorer inserts from a single goroutine (the
+// deterministic decision loop) by design.
+type Frontier struct {
+	pts []Point
+}
+
+// Add offers a point to the frontier. A dominated point is rejected;
+// otherwise it joins and every incumbent it dominates is evicted.
+// Distinct candidates with exactly equal objective vectors coexist
+// (neither dominates the other — they are different configurations
+// reaching the same trade-off, all worth reporting). Returns whether
+// the point joined.
+func (f *Frontier) Add(p Point) bool {
+	for _, q := range f.pts {
+		if Dominates(q.Vec, p.Vec) {
+			return false
+		}
+	}
+	kept := f.pts[:0]
+	for _, q := range f.pts {
+		if !Dominates(p.Vec, q.Vec) {
+			kept = append(kept, q)
+		}
+	}
+	f.pts = append(kept, p)
+	return true
+}
+
+// DominatedBy reports whether vec is dominated by any frontier point —
+// the pruning predicate: a candidate whose objective lower bound is
+// already dominated cannot reach the frontier, so its full evaluation
+// can be skipped.
+func (f *Frontier) DominatedBy(vec []float64) bool {
+	for _, q := range f.pts {
+		if Dominates(q.Vec, vec) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the current frontier size.
+func (f *Frontier) Len() int { return len(f.pts) }
+
+// Points returns the frontier in canonical order — lexicographic by
+// objective vector, then by name — as a fresh slice. The canonical
+// order makes frontier equality insertion-order independent: any
+// insertion sequence of the same point set renders identically.
+func (f *Frontier) Points() []Point {
+	out := make([]Point, len(f.pts))
+	copy(out, f.pts)
+	sort.Slice(out, func(i, j int) bool { return lessPoint(out[i], out[j]) })
+	return out
+}
+
+func lessPoint(a, b Point) bool {
+	for i := range a.Vec {
+		if i >= len(b.Vec) {
+			return false
+		}
+		if a.Vec[i] != b.Vec[i] {
+			return a.Vec[i] < b.Vec[i]
+		}
+	}
+	if len(a.Vec) != len(b.Vec) {
+		return len(a.Vec) < len(b.Vec)
+	}
+	return a.Name < b.Name
+}

@@ -1,0 +1,128 @@
+package pareto
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteForceFrontier is the O(n²) reference: a point survives iff no
+// other point dominates it. Returned in the frontier's canonical order
+// so the two implementations compare with reflect.DeepEqual.
+func bruteForceFrontier(pts []Point) []Point {
+	var out []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && Dominates(q.Vec, p.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	var f Frontier
+	f.pts = out
+	return f.Points()
+}
+
+// randomPoints draws n points on a coarse integer grid — coarse so that
+// duplicates, ties along single axes, and exact-equal vectors all occur
+// with real probability.
+func randomPoints(rng *rand.Rand, n, dims, grid int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		vec := make([]float64, dims)
+		for d := range vec {
+			vec[d] = float64(rng.Intn(grid))
+		}
+		pts[i] = Point{Name: fmt.Sprintf("p%03d", i), Vec: vec}
+	}
+	return pts
+}
+
+// TestFrontierMatchesBruteForce is the frontier-correctness property
+// lock (fixed seed): for random candidate sets, the incrementally
+// maintained frontier equals the O(n²) dominance scan exactly, no
+// frontier point dominates another, and every rejected point is
+// dominated by (or tied with a survivor of) the set.
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		dims := 2 + trial%3 // 2, 3, 4 objectives
+		pts := randomPoints(rng, 40+rng.Intn(160), dims, 8)
+
+		var f Frontier
+		for _, p := range pts {
+			f.Add(p)
+		}
+		got := f.Points()
+		want := bruteForceFrontier(pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (dims=%d, n=%d): incremental frontier diverged\n got: %v\nwant: %v",
+				trial, dims, len(pts), got, want)
+		}
+
+		// Internal consistency: mutual non-dominance.
+		for i, p := range got {
+			for j, q := range got {
+				if i != j && Dominates(p.Vec, q.Vec) {
+					t.Fatalf("trial %d: frontier point %s dominates frontier point %s", trial, p.Name, q.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierInsertionOrderInvariant: any insertion order of the same
+// point set yields the same canonical frontier.
+func TestFrontierInsertionOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 120, 3, 6)
+
+	var ref Frontier
+	for _, p := range pts {
+		ref.Add(p)
+	}
+	want := ref.Points()
+
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Point(nil), pts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var f Frontier
+		for _, p := range shuffled {
+			f.Add(p)
+		}
+		if got := f.Points(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: insertion order changed the frontier\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// TestDominatedByAgreesWithBruteForce: the pruning predicate answers
+// exactly "would this vector be dominated by the current frontier".
+func TestDominatedByAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 80, 3, 6)
+	var f Frontier
+	for _, p := range pts {
+		f.Add(p)
+	}
+	frontier := f.Points()
+	for trial := 0; trial < 200; trial++ {
+		probe := randomPoints(rng, 1, 3, 6)[0].Vec
+		want := false
+		for _, q := range frontier {
+			if Dominates(q.Vec, probe) {
+				want = true
+				break
+			}
+		}
+		if got := f.DominatedBy(probe); got != want {
+			t.Fatalf("DominatedBy(%v) = %v, brute force says %v", probe, got, want)
+		}
+	}
+}

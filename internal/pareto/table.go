@@ -1,0 +1,75 @@
+// Table renderers for frontier reports, shared by cmd/pareto and any
+// harness that wants the same layout.
+package pareto
+
+import (
+	"sort"
+
+	"mcmnpu/internal/report"
+)
+
+// FrontierTable renders the non-dominated set in canonical frontier
+// order, one row per surviving candidate.
+func FrontierTable(rep Report) *report.Table {
+	t := report.NewTable("Pareto frontier — "+describe(rep),
+		"Candidate", "Mesh", "Dataflow", "Chiplets", "PEs",
+		"p99(ms)", "E/frame(J)", "LB lat(ms)")
+	for _, e := range rep.Frontier {
+		t.AddRow(e.Name, e.Candidate.Mesh.String(), e.Candidate.Dataflow,
+			e.Chiplets, e.PEs, e.P99Ms, e.EnergyJ, e.LBLatMs)
+	}
+	return t
+}
+
+// TopTable ranks the frontier by the product of its objective values —
+// a scale-free scalarization (the multi-objective analogue of the EDP
+// ranking the DSE tables use) — and renders the best n rows (n <= 0 or
+// n > len renders the whole frontier).
+func TopTable(rep Report, n int) *report.Table {
+	ranked := append([]Eval(nil), rep.Frontier...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := score(rep.Objectives, ranked[i]), score(rep.Objectives, ranked[j])
+		if a != b {
+			return a < b
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	if n > 0 && n < len(ranked) {
+		ranked = ranked[:n]
+	}
+	t := report.NewTable("Pareto frontier — top candidates by objective product — "+describe(rep),
+		"Rank", "Candidate", "Mesh", "Dataflow", "Chiplets", "PEs",
+		"p99(ms)", "E/frame(J)", "Score")
+	for i, e := range ranked {
+		t.AddRow(i+1, e.Name, e.Candidate.Mesh.String(), e.Candidate.Dataflow,
+			e.Chiplets, e.PEs, e.P99Ms, e.EnergyJ, score(rep.Objectives, e))
+	}
+	return t
+}
+
+// score is the product of the candidate's selected objective values.
+func score(objectives []string, e Eval) float64 {
+	s := 1.0
+	for _, v := range objVec(objectives, e.P99Ms, e.EnergyJ, e.PEs) {
+		s *= v
+	}
+	return s
+}
+
+func describe(rep Report) string {
+	s := "objectives: "
+	for i, o := range rep.Objectives {
+		if i > 0 {
+			s += ","
+		}
+		s += o
+	}
+	s += " | scenarios: "
+	for i, sc := range rep.Scenarios {
+		if i > 0 {
+			s += ","
+		}
+		s += sc
+	}
+	return s
+}

@@ -8,8 +8,75 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
+
+// CreateFile opens path for writing an artifact, refusing to overwrite
+// an existing file unless force is set — the CLIs route their -o flag
+// through here so a stray rerun never silently clobbers an exported
+// table. The caller closes the file.
+func CreateFile(path string, force bool) (*os.File, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !force {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("report: %s exists; pass -force to overwrite", path)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// Artifact is a CLI output destination resolved up front: a -o file
+// (opened through CreateFile, so the clobber check fails fast before
+// any long computation) or a fallback writer such as stdout. Open
+// early, Flush once at the end; Abort on failure paths in between.
+type Artifact struct {
+	file *os.File
+	out  io.Writer
+}
+
+// OpenArtifact resolves path (empty = the fallback writer) with the
+// CreateFile clobber contract.
+func OpenArtifact(path string, force bool, fallback io.Writer) (*Artifact, error) {
+	if path == "" {
+		return &Artifact{out: fallback}, nil
+	}
+	f, err := CreateFile(path, force)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{file: f, out: f}, nil
+}
+
+// Abort releases the artifact without completing it (error paths after
+// a successful open). A stdout-backed artifact is a no-op.
+func (a *Artifact) Abort() {
+	if a.file != nil {
+		a.file.Close()
+	}
+}
+
+// Flush renders into a buffer, then writes with write AND close errors
+// checked: a short write (full disk, yanked volume) must surface as a
+// failure, never as exit-0 beside a silently truncated artifact.
+func (a *Artifact) Flush(render func(io.Writer)) error {
+	var buf strings.Builder
+	render(&buf)
+	if a.file == nil {
+		_, err := io.WriteString(a.out, buf.String())
+		return err
+	}
+	if _, err := io.WriteString(a.file, buf.String()); err != nil {
+		a.file.Close()
+		return err
+	}
+	return a.file.Close()
+}
 
 // Table is a simple column-aligned text table.
 type Table struct {

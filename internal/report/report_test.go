@@ -2,9 +2,88 @@ package report
 
 import (
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+func TestCreateFileRefusesClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.csv")
+	f, err := CreateFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("first"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := CreateFile(path, false); err == nil {
+		t.Fatal("existing file overwritten without force")
+	} else if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("error should point at -force: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Errorf("refused create modified the file: %q", got)
+	}
+
+	g, err := CreateFile(path, true)
+	if err != nil {
+		t.Fatalf("force create: %v", err)
+	}
+	g.WriteString("second")
+	g.Close()
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Errorf("force create did not truncate: %q", got)
+	}
+
+	if _, err := CreateFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestArtifactFlushAndAbort(t *testing.T) {
+	// Empty path: the fallback writer receives the render.
+	var sb strings.Builder
+	a, err := OpenArtifact("", false, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Abort() // no-op on a fallback-backed artifact
+	if err := a.Flush(func(w io.Writer) { io.WriteString(w, "hello") }); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "hello" {
+		t.Errorf("fallback flush wrote %q", sb.String())
+	}
+
+	// File path: clobber contract + flushed content + abort leaves the
+	// (empty) file behind without completing a write.
+	path := filepath.Join(t.TempDir(), "a.txt")
+	a, err = OpenArtifact(path, false, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(func(w io.Writer) { io.WriteString(w, "data") }); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "data" {
+		t.Errorf("file flush wrote %q", got)
+	}
+	if _, err := OpenArtifact(path, false, &sb); err == nil {
+		t.Error("existing artifact reopened without force")
+	}
+	b, err := OpenArtifact(path, true, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Abort()
+	if err := b.Flush(func(w io.Writer) { io.WriteString(w, "late") }); err == nil {
+		t.Error("flush after abort should fail (file closed)")
+	}
+}
 
 func sample() *Table {
 	t := NewTable("Title", "Name", "Value")

@@ -2,10 +2,8 @@ package sweep
 
 import (
 	"context"
-	"fmt"
 	"time"
 
-	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/workloads"
 )
@@ -64,102 +62,4 @@ func (e *Engine) RunGrid(ctx context.Context, cfg workloads.Config, scenarios []
 		}
 	}
 	return out
-}
-
-// DefaultGrid returns the standard multi-scenario experiment grid: the
-// sweeps the paper varies one at a time (camera count, temporal queue
-// depth, NoP link parameters, mesh size, scheduler tolerance) plus a
-// DSE Lcstr sweep that exercises the parallel explorer itself. While
-// the dse-lcstr scenario runs it fans masks across its own worker set,
-// so a saturated grid briefly holds up to twice the engine's workers —
-// bounded, but worth knowing when reading per-scenario timings.
-func (e *Engine) DefaultGrid() []Scenario {
-	harness := func(run func(cfg workloads.Config) (*report.Table, error)) func(context.Context, workloads.Config) (*report.Table, error) {
-		return func(ctx context.Context, cfg workloads.Config) (*report.Table, error) {
-			// The experiment harnesses are not ctx-aware internally;
-			// honor cancellation at scenario entry.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			return run(cfg)
-		}
-	}
-	return []Scenario{
-		{Name: "cameras", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
-			rows, err := experiments.CameraSweep(cfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			return experiments.CameraSweepTable(rows), nil
-		})},
-		{Name: "temporal-depth", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
-			rows, err := experiments.TemporalDepthSweep(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return experiments.TemporalDepthTable(rows), nil
-		})},
-		{Name: "nop-bandwidth", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
-			rows, err := experiments.NoPSensitivity(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return experiments.NoPSensitivityTable(rows), nil
-		})},
-		{Name: "mesh-size", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
-			rows, err := experiments.MeshSweep(cfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			return experiments.MeshSweepTable(rows), nil
-		})},
-		{Name: "tolerance", Run: harness(func(cfg workloads.Config) (*report.Table, error) {
-			rows, err := experiments.ToleranceSweep(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return experiments.ToleranceSweepTable(rows), nil
-		})},
-		{Name: "dse-lcstr", Run: func(ctx context.Context, cfg workloads.Config) (*report.Table, error) {
-			return e.LcstrSweep(ctx, cfg, nil)
-		}},
-	}
-}
-
-// DefaultLcstrPoints are the latency-constraint points of the DSE Lcstr
-// scenario (ms), bracketing the paper's 85 ms operating point.
-var DefaultLcstrPoints = []float64{60, 70, 85, 100}
-
-// LcstrSweep re-runs the Het(2) exploration of Table I under a range of
-// latency constraints, showing how the feasible heterogeneous frontier
-// moves as Lcstr tightens. Each exploration fans its masks across the
-// engine.
-func (e *Engine) LcstrSweep(ctx context.Context, cfg workloads.Config, lcstrs []float64) (*report.Table, error) {
-	if len(lcstrs) == 0 {
-		lcstrs = DefaultLcstrPoints
-	}
-	cfg.LaneContext = 0.6 // Table I's operating point (Fig 11)
-	trunks := workloads.Trunks(cfg)
-	t := report.NewTable("DSE — Het(2) trunks integration vs latency constraint",
-		"Lcstr(ms)", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "EDP(ms*J)", "WS nets", "Feasible")
-	for _, l := range lcstrs {
-		r, err := e.Explore(ctx, trunks, 9, 2, l)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(l, r.E2EMs, r.PipeLatMs, r.EnergyJ, r.EDP,
-			fmt.Sprintf("%d", len(r.WSNets)), fmt.Sprintf("%v", r.Feasible))
-	}
-	return t, nil
-}
-
-// TableIParallel is a convenience wrapper returning the parallel Table I
-// rendered through experiments' formatting.
-func (e *Engine) TableIParallel(ctx context.Context, cfg workloads.Config, lcstrMs float64) (experiments.TableIResult, error) {
-	cfg.LaneContext = 0.6
-	rows, err := e.TableI(ctx, workloads.Trunks(cfg), lcstrMs)
-	if err != nil {
-		return experiments.TableIResult{}, err
-	}
-	return experiments.TableIResult{Rows: rows, Lcstr: lcstrMs}, nil
 }
