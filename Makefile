@@ -42,9 +42,16 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # BENCH_RUN is the one shared measurement methodology: every benchmark
-# 5 times at -benchtime=1x. bench-json and bench-baseline must measure
-# identically or the >20% regression gate compares apples to oranges.
-BENCH_RUN = $(GO) test -run=NONE -bench=. -benchtime=1x -count=5 ./... > bench.out
+# 5 times at -benchtime=1x with -benchmem (the artifacts record
+# allocs/op medians alongside ns/op). bench-json and bench-baseline
+# must measure identically or the >20% regression gate compares apples
+# to oranges.
+BENCH_RUN = $(GO) test -run=NONE -bench=. -benchtime=1x -count=5 -benchmem ./... > bench.out
+
+# ALLOC_GUARD names the hot-path benchmarks whose allocs/op growth
+# beyond 30% fails the bench lane like a time regression: allocation
+# counts are deterministic, so drift there is a real change, not noise.
+ALLOC_GUARD = BenchmarkSchedulerOnly,BenchmarkDiscreteEventSim
 
 # bench-json measures the working tree and distills the median ns/op
 # per benchmark into BENCH_<sha>.json via cmd/benchdiff.
@@ -62,9 +69,11 @@ bench-baseline:
 	@echo refreshed BENCH_baseline.json
 
 # bench-check is the CI bench-regression lane: measure the working tree
-# and fail on any >20% median regression against the committed baseline.
+# and fail on any >20% median regression against the committed baseline,
+# or >30% allocs/op growth on the guarded scheduler/simulator benchmarks.
 bench-check: bench-json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(SHA).json -threshold 20
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(SHA).json \
+		-threshold 20 -allocthreshold 30 -allocguard $(ALLOC_GUARD)
 
 # golden regenerates the snapshot files after an intentional change to
 # the analytic stack; review the diff before committing.

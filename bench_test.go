@@ -205,6 +205,7 @@ func BenchmarkDiscreteEventSim(b *testing.B) {
 	}
 	gen := trace.NewGenerator(7)
 	var r sim.Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err = sim.Run(s, 12, gen)
@@ -230,6 +231,7 @@ func benchmarkSimEngine(b *testing.B, frames int,
 		b.Fatal(err)
 	}
 	gen := trace.NewGenerator(7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(s, frames, gen); err != nil {
@@ -352,10 +354,22 @@ func BenchmarkSweepGridParallel(b *testing.B) {
 	benchmarkSweepGrid(b, sweep.New(0))
 }
 
+// Fixed-worker-count grid runs: the parallel-speedup ladder. Comparing
+// these medians against BenchmarkSweepGridSerial makes scaling
+// regressions (lock contention, allocator pressure) visible in the
+// bench lane even when the default NumCPU run happens to land on a
+// single-core machine. On hosts with fewer cores than workers the
+// extra workers idle; the ladder is still recorded so the same
+// artifact compares across machine classes by name.
+func BenchmarkSweepGridParallel2(b *testing.B) { benchmarkSweepGrid(b, sweep.New(2)) }
+func BenchmarkSweepGridParallel4(b *testing.B) { benchmarkSweepGrid(b, sweep.New(4)) }
+func BenchmarkSweepGridParallel8(b *testing.B) { benchmarkSweepGrid(b, sweep.New(8)) }
+
 func benchmarkSweepGrid(b *testing.B, eng *sweep.Engine) {
 	cfg := workloads.DefaultConfig()
 	scenarios := experiments.DefaultGrid(eng)
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, r := range eng.RunGrid(ctx, cfg, scenarios) {
@@ -422,6 +436,7 @@ func BenchmarkParetoExplore(b *testing.B) {
 func BenchmarkSchedulerOnly(b *testing.B) {
 	cfg := workloads.DefaultConfig()
 	var m pipeline.Metrics
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, s, err := experiments.Fig5to8(cfg)

@@ -2,8 +2,8 @@
 // bench lane. It has two modes:
 //
 // Parse mode distills `go test -bench` text output (typically
-// -benchtime=1x -count=5) into a JSON artifact holding the median
-// ns/op per benchmark:
+// -benchtime=1x -count=5 -benchmem) into a JSON artifact holding the
+// median ns/op, median allocs/op and GOMAXPROCS per benchmark:
 //
 //	benchdiff -parse bench.out -out BENCH_abc123.json
 //
@@ -13,14 +13,21 @@
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_abc123.json -threshold 20
 //
+// Only benchmarks present in both files at equal worker counts are
+// compared: a benchmark that exists on one side only, or whose
+// GOMAXPROCS differs between the artifacts (different machine class),
+// is warned about without failing the lane — refresh the baseline with
+// `make bench-baseline`. Allocs/op growth beyond -allocthreshold is
+// reported as a warning, except for the benchmarks named in
+// -allocguard, where it fails the gate like a time regression (the CI
+// lane guards the scheduler and simulator hot paths this way).
+//
 // Benchmarks whose baseline median is below -floor nanoseconds
 // (default 20 ms) are reported but never fail the gate: at
 // -benchtime=1x a single iteration of a short benchmark swings tens of
 // percent with scheduler and cache luck, so its median is noise, not
 // signal — empirically, same-code reruns drift <5% above the 20 ms
-// floor and up to ~50% below it. Benchmarks that exist only on one
-// side are warned about (refresh the baseline with `make
-// bench-baseline`) without failing the lane.
+// floor and up to ~50% below it.
 package main
 
 import (
@@ -33,16 +40,21 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"mcmnpu/internal/report"
 )
 
-// Artifact is the on-disk JSON schema: median ns/op and sample count
-// per benchmark. Map keys marshal sorted, so artifacts are
-// byte-reproducible for identical inputs.
+// Artifact is the on-disk JSON schema: median ns/op, sample count,
+// median allocs/op and GOMAXPROCS per benchmark. Map keys marshal
+// sorted, so artifacts are byte-reproducible for identical inputs.
+// AllocsPerOp and Procs are absent from artifacts predating the
+// schema extension; compare mode treats missing entries as unknown.
 type Artifact struct {
-	NsPerOp map[string]float64 `json:"ns_per_op"`
-	Samples map[string]int     `json:"samples"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	Samples     map[string]int     `json:"samples"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	Procs       map[string]int     `json:"procs,omitempty"`
 }
 
 func main() {
@@ -54,13 +66,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		parse     = fs.String("parse", "", "parse `go test -bench` text output from this file ('-' = stdin)")
-		out       = fs.String("out", "", "write the parsed JSON artifact here (default stdout)")
-		force     = fs.Bool("force", false, "overwrite an existing -out file")
-		baseline  = fs.String("baseline", "", "baseline JSON artifact to compare against")
-		current   = fs.String("current", "", "current JSON artifact to compare")
-		threshold = fs.Float64("threshold", 20, "fail on median regressions above this percent")
-		floor     = fs.Float64("floor", 20e6, "ignore regressions on benchmarks with baseline median below this many ns")
+		parse      = fs.String("parse", "", "parse `go test -bench` text output from this file ('-' = stdin)")
+		out        = fs.String("out", "", "write the parsed JSON artifact here (default stdout)")
+		force      = fs.Bool("force", false, "overwrite an existing -out file")
+		baseline   = fs.String("baseline", "", "baseline JSON artifact to compare against")
+		current    = fs.String("current", "", "current JSON artifact to compare")
+		threshold  = fs.Float64("threshold", 20, "fail on median regressions above this percent")
+		floor      = fs.Float64("floor", 20e6, "ignore regressions on benchmarks with baseline median below this many ns")
+		allocThr   = fs.Float64("allocthreshold", 30, "flag allocs/op growth above this percent")
+		allocGuard = fs.String("allocguard", "", "comma-separated benchmarks whose allocs/op growth fails the gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,24 +83,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *parse != "":
 		return runParse(*parse, *out, *force, stdout, stderr)
 	case *baseline != "" && *current != "":
-		return runCompare(*baseline, *current, *threshold, *floor, stdout, stderr)
+		return runCompare(*baseline, *current, compareOpts{
+			threshold:  *threshold,
+			floor:      *floor,
+			allocThr:   *allocThr,
+			allocGuard: guardSet(*allocGuard),
+		}, stdout, stderr)
 	default:
 		fs.Usage()
 		return 2
 	}
 }
 
-// benchLine matches one `go test -bench` result line:
-//
-//	BenchmarkName-8   	       1	 139669317 ns/op
-//
-// The -8 GOMAXPROCS suffix is stripped so artifacts compare across
-// machines with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+func guardSet(csv string) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			set[f] = true
+		}
+	}
+	return set
+}
 
-// parseBench collects every ns/op sample per benchmark name.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	samples := map[string][]float64{}
+// benchLine matches one `go test -bench` result line, with or without
+// the -benchmem columns:
+//
+//	BenchmarkName-8   	       1	 139669317 ns/op	  431096 B/op	     336 allocs/op
+//
+// The -8 GOMAXPROCS suffix is captured separately: artifacts compare
+// by name across machines, but only at equal worker counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// benchRec collects every sample of one benchmark name.
+type benchRec struct {
+	ns     []float64
+	allocs []float64
+	procs  int
+}
+
+// parseBench collects per-benchmark ns/op and allocs/op samples.
+func parseBench(r io.Reader, stderr io.Writer) (map[string]*benchRec, error) {
+	recs := map[string]*benchRec{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -94,13 +131,40 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		rec := recs[m[1]]
+		if rec == nil {
+			rec = &benchRec{}
+			recs[m[1]] = rec
+		}
+		rec.ns = append(rec.ns, v)
+		// The testing package only appends the -N suffix when GOMAXPROCS
+		// != 1, so an absent suffix means the benchmark ran single-core —
+		// record procs=1 rather than leaving it unknown, or the
+		// equal-worker-count guard would never protect single-core
+		// baselines. Only artifacts predating the schema carry no procs.
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		if rec.procs != 0 && rec.procs != procs {
+			fmt.Fprintf(stderr, "benchdiff: %s sampled at both -%d and -%d; keeping -%d\n",
+				m[1], rec.procs, procs, rec.procs)
+		} else {
+			rec.procs = procs
+		}
+		if m[5] != "" {
+			a, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			rec.allocs = append(rec.allocs, a)
+		}
 	}
-	return samples, sc.Err()
+	return recs, sc.Err()
 }
 
 // median of a sample set (mean of the middle pair for even counts).
@@ -125,19 +189,30 @@ func runParse(in, out string, force bool, stdout, stderr io.Writer) int {
 		defer f.Close()
 		r = f
 	}
-	samples, err := parseBench(r)
+	recs, err := parseBench(r, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if len(samples) == 0 {
+	if len(recs) == 0 {
 		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found")
 		return 1
 	}
-	art := Artifact{NsPerOp: map[string]float64{}, Samples: map[string]int{}}
-	for name, vs := range samples {
-		art.NsPerOp[name] = median(vs)
-		art.Samples[name] = len(vs)
+	art := Artifact{
+		NsPerOp:     map[string]float64{},
+		Samples:     map[string]int{},
+		AllocsPerOp: map[string]float64{},
+		Procs:       map[string]int{},
+	}
+	for name, rec := range recs {
+		art.NsPerOp[name] = median(rec.ns)
+		art.Samples[name] = len(rec.ns)
+		if len(rec.allocs) > 0 {
+			art.AllocsPerOp[name] = median(rec.allocs)
+		}
+		if rec.procs > 0 {
+			art.Procs[name] = rec.procs
+		}
 	}
 	b, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -174,7 +249,14 @@ func loadArtifact(path string) (Artifact, error) {
 	return a, nil
 }
 
-func runCompare(basePath, curPath string, threshold, floor float64, stdout, stderr io.Writer) int {
+type compareOpts struct {
+	threshold  float64
+	floor      float64
+	allocThr   float64
+	allocGuard map[string]bool
+}
+
+func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Writer) int {
 	base, err := loadArtifact(basePath)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -193,8 +275,8 @@ func runCompare(basePath, curPath string, threshold, floor float64, stdout, stde
 	sort.Strings(names)
 
 	t := report.NewTable(
-		fmt.Sprintf("Benchmark medians vs %s (fail > +%.0f%%, floor %.0f µs)", basePath, threshold, floor/1e3),
-		"Benchmark", "Base(ms)", "Current(ms)", "Delta(%)", "Verdict")
+		fmt.Sprintf("Benchmark medians vs %s (fail > +%.0f%%, floor %.0f µs)", basePath, opts.threshold, opts.floor/1e3),
+		"Benchmark", "Base(ms)", "Current(ms)", "Delta(%)", "Allocs Δ(%)", "Verdict")
 	regressions := 0
 	for _, name := range names {
 		b := base.NsPerOp[name]
@@ -204,19 +286,55 @@ func runCompare(basePath, curPath string, threshold, floor float64, stdout, stde
 				name, curPath)
 			continue
 		}
+		// Compare only at equal worker counts: a median taken at -4
+		// against one at -8 measures the machine, not the change.
+		bp, cp := base.Procs[name], cur.Procs[name]
+		if bp != 0 && cp != 0 && bp != cp {
+			fmt.Fprintf(stderr, "benchdiff: %s measured at GOMAXPROCS %d (baseline) vs %d (current); "+
+				"skipping comparison (refresh the baseline with `make bench-baseline`)\n", name, bp, cp)
+			continue
+		}
 		delta := 0.0
 		if b > 0 {
 			delta = (c - b) / b * 100
 		}
+
+		allocCell := "-"
+		allocGrowth := 0.0
+		ba, bok := base.AllocsPerOp[name]
+		ca, cok := cur.AllocsPerOp[name]
+		if bok && cok && ba > 0 {
+			allocGrowth = (ca - ba) / ba * 100
+			allocCell = fmt.Sprintf("%+.1f", allocGrowth)
+		}
+
+		timeRegressed := b >= opts.floor && delta > opts.threshold
+		allocRegressed := false
+		if allocGrowth > opts.allocThr && bok && cok {
+			if opts.allocGuard[name] {
+				allocRegressed = true
+				fmt.Fprintf(stderr, "benchdiff: %s allocs/op grew %.1f%% (%.0f -> %.0f), beyond the %.0f%% guard\n",
+					name, allocGrowth, ba, ca, opts.allocThr)
+			} else {
+				fmt.Fprintf(stderr, "benchdiff: warning: %s allocs/op grew %.1f%% (%.0f -> %.0f)\n",
+					name, allocGrowth, ba, ca)
+			}
+		}
 		verdict := "ok"
 		switch {
-		case b < floor:
-			verdict = "below floor (informational)"
-		case delta > threshold:
+		case timeRegressed && allocRegressed:
+			verdict = "REGRESSION (time+allocs)"
+		case timeRegressed:
 			verdict = "REGRESSION"
+		case allocRegressed:
+			verdict = "ALLOC REGRESSION"
+		case b < opts.floor:
+			verdict = "below floor (informational)"
+		}
+		if timeRegressed || allocRegressed {
 			regressions++
 		}
-		t.AddRow(name, b/1e6, c/1e6, delta, verdict)
+		t.AddRow(name, b/1e6, c/1e6, delta, allocCell, verdict)
 	}
 	newNames := make([]string, 0, len(cur.NsPerOp))
 	for name := range cur.NsPerOp {
@@ -230,7 +348,7 @@ func runCompare(basePath, curPath string, threshold, floor float64, stdout, stde
 	}
 	t.Render(stdout)
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, threshold)
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond the gate\n", regressions)
 		return 1
 	}
 	return 0

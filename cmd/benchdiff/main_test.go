@@ -15,11 +15,11 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkFast-8     	       1	     50000 ns/op
 BenchmarkFast-8     	       1	     60000 ns/op
 BenchmarkFast-8     	       1	     70000 ns/op
-BenchmarkSlow-8     	       1	 200000000 ns/op
-BenchmarkSlow-8     	       1	 210000000 ns/op
-BenchmarkSlow-8     	       1	 220000000 ns/op
-BenchmarkSlow-8     	       1	 230000000 ns/op
-BenchmarkSlow-8     	       1	 240000000 ns/op
+BenchmarkSlow-8     	       1	 200000000 ns/op	  431096 B/op	     336 allocs/op
+BenchmarkSlow-8     	       1	 210000000 ns/op	  126712 B/op	     327 allocs/op
+BenchmarkSlow-8     	       1	 220000000 ns/op	  126712 B/op	     327 allocs/op
+BenchmarkSlow-8     	       1	 230000000 ns/op	  126712 B/op	     329 allocs/op
+BenchmarkSlow-8     	       1	 240000000 ns/op	  126712 B/op	     331 allocs/op
 PASS
 ok  	mcmnpu	2.153s
 `
@@ -58,7 +58,8 @@ func TestParseMedians(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatal(err)
 	}
-	// Odd sample count: the middle value; GOMAXPROCS suffix stripped.
+	// Odd sample count: the middle value; GOMAXPROCS suffix stripped
+	// from the name but recorded per benchmark.
 	if got := art.NsPerOp["BenchmarkFast"]; got != 60000 {
 		t.Errorf("BenchmarkFast median = %v, want 60000", got)
 	}
@@ -67,6 +68,15 @@ func TestParseMedians(t *testing.T) {
 	}
 	if art.Samples["BenchmarkSlow"] != 5 {
 		t.Errorf("samples = %d, want 5", art.Samples["BenchmarkSlow"])
+	}
+	if got := art.AllocsPerOp["BenchmarkSlow"]; got != 329 {
+		t.Errorf("BenchmarkSlow allocs median = %v, want 329", got)
+	}
+	if _, ok := art.AllocsPerOp["BenchmarkFast"]; ok {
+		t.Error("BenchmarkFast has no -benchmem columns; allocs median should be absent")
+	}
+	if got := art.Procs["BenchmarkSlow"]; got != 8 {
+		t.Errorf("BenchmarkSlow procs = %d, want 8", got)
 	}
 
 	// -out without -force refuses to clobber.
@@ -154,6 +164,78 @@ func TestCompareMissingAndNew(t *testing.T) {
 		if !strings.Contains(stderr.String(), want) {
 			t.Errorf("stderr should mention %s: %s", want, stderr.String())
 		}
+	}
+}
+
+// TestCompareSkipsWorkerCountMismatch: medians taken at different
+// GOMAXPROCS measure the machine, not the change — they are skipped
+// with a warning instead of compared.
+func TestCompareSkipsWorkerCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeFull(t, base, Artifact{
+		NsPerOp: map[string]float64{"BenchmarkSlow": 100e6},
+		Samples: map[string]int{"BenchmarkSlow": 5},
+		Procs:   map[string]int{"BenchmarkSlow": 8},
+	})
+	writeFull(t, cur, Artifact{
+		NsPerOp: map[string]float64{"BenchmarkSlow": 300e6}, // 3x, but at -4
+		Samples: map[string]int{"BenchmarkSlow": 5},
+		Procs:   map[string]int{"BenchmarkSlow": 4},
+	})
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("worker-count mismatch should skip, got exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "GOMAXPROCS") {
+		t.Errorf("stderr should explain the skip: %s", stderr.String())
+	}
+}
+
+// TestCompareAllocDrift: allocs/op growth warns by default and fails
+// the gate for benchmarks named in -allocguard.
+func TestCompareAllocDrift(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeFull(t, base, Artifact{
+		NsPerOp:     map[string]float64{"BenchmarkSched": 100e6},
+		Samples:     map[string]int{"BenchmarkSched": 5},
+		AllocsPerOp: map[string]float64{"BenchmarkSched": 1000},
+	})
+	writeFull(t, cur, Artifact{
+		NsPerOp:     map[string]float64{"BenchmarkSched": 101e6}, // time fine
+		Samples:     map[string]int{"BenchmarkSched": 5},
+		AllocsPerOp: map[string]float64{"BenchmarkSched": 1500}, // +50% allocs
+	})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("unguarded alloc growth should warn, not fail; got exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "allocs/op grew") {
+		t.Errorf("stderr should warn about alloc growth: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-baseline", base, "-current", cur,
+		"-allocguard", "BenchmarkSched", "-allocthreshold", "30"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("guarded alloc growth should fail the gate, got exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "ALLOC REGRESSION") {
+		t.Errorf("table should flag the alloc regression:\n%s", stdout.String())
+	}
+}
+
+func writeFull(t *testing.T, path string, art Artifact) {
+	t.Helper()
+	b, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

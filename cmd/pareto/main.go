@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/prof"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/scenario"
 	"mcmnpu/internal/sweep"
@@ -57,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPath    = fs.String("o", "", "write output to a file instead of stdout")
 		force      = fs.Bool("force", false, "overwrite an existing -o file")
 		timeout    = fs.Duration("timeout", 0, "overall deadline (0 = none)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +68,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+
+	profiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	specs, err := selectScenarios(*scenarios)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/prof"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/workloads"
@@ -40,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
 	cacheStats := fs.Bool("cachestats", false, "print layer-cost cache hit/miss stats on exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,6 +51,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+
+	profiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

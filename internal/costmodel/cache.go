@@ -43,26 +43,68 @@ func accelSig(a *Accel) Accel {
 	return s
 }
 
-type cacheKey struct {
-	layer layerSig
-	accel Accel
+// cacheSegments is the lock-stripe count. 16 stripes keep the
+// worst-case contention of a full worker pool hammering one cache to a
+// sixteenth of a single RWMutex while the per-segment maps stay dense.
+const cacheSegments = 16
+
+// segment is one lock stripe of the dynamic cost store. Keys are the
+// packed (layerID, accelID) pair — integer map operations, no struct
+// hashing.
+type segment struct {
+	mu sync.RWMutex
+	m  map[uint64]LayerCost
 }
 
-// Cache memoizes LayerOn results keyed by (layer signature, accelerator
-// configuration). LayerOn is pure, so a hit returns the exact value a
-// fresh evaluation would — bit-for-bit, which keeps cached and uncached
-// sweeps deterministic relative to each other. A Cache is safe for
-// concurrent use; the zero value is not useful, use NewCache. A nil
-// *Cache is valid and simply evaluates uncached.
+// Cache memoizes LayerOn results keyed by interned (layer signature,
+// accelerator configuration) IDs. LayerOn is pure, so a hit returns the
+// exact value a fresh evaluation would — bit-for-bit, which keeps
+// cached and uncached sweeps deterministic relative to each other.
+//
+// The hot path is: two pointer-keyed sync.Map loads (layer ID, accel
+// ID — layers and accels are immutable, so a pointer resolves in one
+// load after first sighting), then one integer-keyed read in a
+// lock-striped segment selected by an FNV mix of the IDs. Stats
+// counters are purely atomic. A Cache is safe for concurrent use; the
+// zero value is not useful, use NewCache. A nil *Cache is valid and
+// simply evaluates uncached.
 type Cache struct {
-	mu     sync.RWMutex
-	m      map[cacheKey]LayerCost
+	in     *interner
+	segs   [cacheSegments]segment
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
 // NewCache returns an empty layer-cost cache.
-func NewCache() *Cache { return &Cache{m: make(map[cacheKey]LayerCost)} }
+func NewCache() *Cache {
+	c := &Cache{in: newInterner()}
+	for i := range c.segs {
+		c.segs[i].m = make(map[uint64]LayerCost)
+	}
+	return c
+}
+
+// segOf picks the lock stripe for a packed key: FNV-1a over the key
+// bytes, folded to the stripe count. Cheap (eight multiply-xor steps)
+// and well-mixed even though layer and accel IDs are small sequential
+// integers.
+func segOf(key uint64) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xff
+		h *= prime64
+		key >>= 8
+	}
+	return uint32(h) % cacheSegments
+}
+
+func packKey(layerID, accelID uint32) uint64 {
+	return uint64(layerID)<<32 | uint64(accelID)
+}
 
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
@@ -76,23 +118,35 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.RLock()
-	n := len(c.m)
-	c.mu.RUnlock()
+	n := 0
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
 }
 
 // LayerOn is the memoized counterpart of the package-level LayerOn.
 // The returned cost's Layer field always points at l (cache entries are
-// stored signature-keyed, not pointer-keyed).
+// stored ID-keyed, not pointer-keyed).
 func (c *Cache) LayerOn(l *dnn.Layer, a *Accel) LayerCost {
 	if c == nil {
 		return LayerOn(l, a)
 	}
-	k := cacheKey{layer: sigOf(l), accel: accelSig(a)}
-	c.mu.RLock()
-	v, ok := c.m[k]
-	c.mu.RUnlock()
+	return c.cost(c.in.layerID(l), c.in.accelID(a), l, a)
+}
+
+// cost is the striped-store lookup shared by the plain and sharded hot
+// paths: l and a are only consulted to compute a missing entry (and to
+// stamp the returned Layer back-pointer).
+func (c *Cache) cost(lid, aid uint32, l *dnn.Layer, a *Accel) LayerCost {
+	key := packKey(lid, aid)
+	seg := &c.segs[segOf(key)]
+	seg.mu.RLock()
+	v, ok := seg.m[key]
+	seg.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 		v.Layer = l
@@ -100,23 +154,28 @@ func (c *Cache) LayerOn(l *dnn.Layer, a *Accel) LayerCost {
 	}
 	c.misses.Add(1)
 	v = LayerOn(l, a)
-	c.mu.Lock()
-	c.m[k] = v
-	c.mu.Unlock()
+	v.Layer = nil // normalize: the entry is shared across equivalent layers
+	seg.mu.Lock()
+	seg.m[key] = v
+	seg.mu.Unlock()
 	v.Layer = l
 	return v
 }
 
 // ShardedLayerOn is the memoized counterpart of the package-level
-// ShardedLayerOn: the shard descriptor is derived cheaply and its cost
-// looked up by signature, so every candidate that shards a layer the
-// same way shares one evaluation.
+// ShardedLayerOn. The shard derivation itself is interned per (layer
+// signature, n) — the returned cost's Layer field points at that
+// canonical shard instance — so every candidate that shards a layer
+// the same way shares one derivation and one evaluation.
 func (c *Cache) ShardedLayerOn(l *dnn.Layer, n int64, a *Accel) (LayerCost, error) {
-	s, err := l.Shard(n)
+	if c == nil {
+		return ShardedLayerOn(l, n, a)
+	}
+	e, err := c.in.shardOf(l, n)
 	if err != nil {
 		return LayerCost{}, err
 	}
-	return c.LayerOn(s, a), nil
+	return c.cost(e.id, c.in.accelID(a), e.layer, a), nil
 }
 
 // GraphOn is the memoized counterpart of the package-level GraphOn.
@@ -135,4 +194,18 @@ func (c *Cache) LayersOn(layers []*dnn.Layer, a *Accel) GraphCost {
 		gc.add(c.LayerOn(l, a))
 	}
 	return gc
+}
+
+// AccelEquivalent reports whether two accelerators have identical
+// cost-relevant configurations (everything but the display name). The
+// scheduler uses it to skip probe re-evaluations on homogeneous pools
+// whose chiplets are distinct objects with equal values.
+func AccelEquivalent(a, b *Accel) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return accelSig(a) == accelSig(b)
 }

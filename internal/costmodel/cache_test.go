@@ -128,6 +128,84 @@ func TestCacheShardedAndAggregates(t *testing.T) {
 	}
 }
 
+// TestCacheShardedConcurrentHammer drives the full interned hot path —
+// pointer interning, shard derivation memoization, and the lock-striped
+// segments — from 32 goroutines at once, mixing plain and sharded
+// lookups across layers, shard counts and accel configurations. Every
+// returned value must equal a direct evaluation; run under -race (make
+// race does) this is the cache's data-race certificate.
+func TestCacheShardedConcurrentHammer(t *testing.T) {
+	c := NewCache()
+	layers := cacheTestLayers()
+	accels := []*Accel{
+		SimbaChiplet(dataflow.OS),
+		SimbaChiplet(dataflow.WS),
+		Monolithic("mono", 2304, dataflow.OS),
+	}
+	shardCounts := []int64{1, 2, 3, 4}
+
+	// Direct references, computed once outside the hammer.
+	type refKey struct {
+		li, ai int
+		n      int64
+	}
+	want := map[refKey]LayerCost{}
+	for li, l := range layers {
+		for ai, a := range accels {
+			want[refKey{li, ai, 0}] = LayerOn(l, a)
+			for _, n := range shardCounts {
+				if s, err := l.Shard(n); err == nil {
+					want[refKey{li, ai, n}] = LayerOn(s, a)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				li := (i + w) % len(layers)
+				ai := (i + w/3) % len(accels)
+				l, a := layers[li], accels[ai]
+				if w%2 == 0 {
+					got := c.LayerOn(l, a)
+					ref := want[refKey{li, ai, 0}]
+					if got.LatencyMs != ref.LatencyMs || got.EnergyJ != ref.EnergyJ {
+						t.Errorf("worker %d: LayerOn(%s, %s) diverged", w, l.Name, a.Name)
+						return
+					}
+					continue
+				}
+				n := shardCounts[(i+w)%len(shardCounts)]
+				ref, feasible := want[refKey{li, ai, n}]
+				got, err := c.ShardedLayerOn(l, n, a)
+				if err != nil {
+					if feasible {
+						t.Errorf("worker %d: ShardedLayerOn(%s, %d): %v", w, l.Name, n, err)
+					}
+					continue
+				}
+				if got.LatencyMs != ref.LatencyMs || got.EnergyJ != ref.EnergyJ {
+					t.Errorf("worker %d: ShardedLayerOn(%s, %d, %s) diverged", w, l.Name, n, a.Name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Entries == 0 || s.Hits == 0 {
+		t.Errorf("hammer left no cache footprint: %+v", s)
+	}
+	if s.Entries > len(want) {
+		t.Errorf("entries = %d, want at most %d distinct (layer/shard, accel) pairs", s.Entries, len(want))
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache()
 	layers := cacheTestLayers()

@@ -1,0 +1,64 @@
+package costmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"mcmnpu/internal/dataflow"
+)
+
+// TestTableMatchesCacheAndDirect: the index-addressed table returns the
+// same values whether built over a live cache or a nil (uncached) one,
+// and both equal direct LayerOn evaluations — including the Layer
+// back-pointer pointing at the indexed layer.
+func TestTableMatchesCacheAndDirect(t *testing.T) {
+	layers := cacheTestLayers()
+	accels := []*Accel{SimbaChiplet(dataflow.OS), SimbaChiplet(dataflow.WS)}
+
+	cached := NewCache().NewTable(layers, accels)
+	uncached := (*Cache)(nil).NewTable(layers, accels)
+
+	if cached.Layers() != len(layers) || cached.Accels() != len(accels) {
+		t.Fatalf("table is %dx%d, want %dx%d", cached.Layers(), cached.Accels(), len(layers), len(accels))
+	}
+	for i, l := range layers {
+		if cached.Layer(i) != l {
+			t.Errorf("Layer(%d) = %v, want the indexed layer", i, cached.Layer(i))
+		}
+		for j, a := range accels {
+			if cached.Accel(j) != a {
+				t.Errorf("Accel(%d) = %v, want the indexed accel", j, cached.Accel(j))
+			}
+			want := LayerOn(l, a)
+			if got := cached.Cost(i, j); !reflect.DeepEqual(got, want) {
+				t.Errorf("cached table[%d][%d]: %+v != direct %+v", i, j, got, want)
+			}
+			if got := uncached.Cost(i, j); !reflect.DeepEqual(got, want) {
+				t.Errorf("uncached table[%d][%d]: %+v != direct %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestAccelEquivalent: value equality up to the display name, nil-safe.
+func TestAccelEquivalent(t *testing.T) {
+	a := SimbaChiplet(dataflow.OS)
+	b := SimbaChiplet(dataflow.OS)
+	b.Name = "same-config-other-name"
+	if !AccelEquivalent(a, b) {
+		t.Error("identical configs under different names must be equivalent")
+	}
+	ws := SimbaChiplet(dataflow.WS)
+	if AccelEquivalent(a, ws) {
+		t.Error("OS and WS chiplets must not be equivalent")
+	}
+	if !AccelEquivalent(a, a) {
+		t.Error("an accel is equivalent to itself")
+	}
+	if AccelEquivalent(a, nil) || AccelEquivalent(nil, a) {
+		t.Error("nil is not equivalent to a real accel")
+	}
+	if !AccelEquivalent(nil, nil) {
+		t.Error("nil == nil")
+	}
+}

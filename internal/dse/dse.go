@@ -83,10 +83,11 @@ type Result struct {
 }
 
 // Space is a prepared exploration space: the nets of a trunk quadrant
-// plus the OS/WS accelerator models and the latency constraint. The
-// configuration fields are immutable after NewSpace and the layer-cost
-// cache is internally synchronized, so one Space may be shared by
-// concurrent goroutines (the internal/sweep engine relies on this).
+// plus the OS/WS accelerator models and the latency constraint, with
+// every net layer's cost on both styles precomputed into an
+// index-addressed table at construction. The configuration fields are
+// immutable after NewSpace, so one Space may be shared by concurrent
+// goroutines (the internal/sweep engine relies on this).
 type Space struct {
 	Nets     []Net
 	Chiplets int
@@ -95,7 +96,21 @@ type Space struct {
 	osAccel *costmodel.Accel
 	wsAccel *costmodel.Accel
 	cache   *costmodel.Cache
+
+	// Index-addressed cost table: row layerOff[i]+j is the j-th layer
+	// of net i; column 0 is OS, column 1 WS. Evaluating a candidate
+	// mask is pure array reads — no hashing, no locks.
+	tab      *costmodel.Table
+	layerOff []int // net i -> first row of its layers in tab
+	netModel []int // net i -> dense model index
+	nModels  int
 }
+
+// Table column indices for the two dataflow styles.
+const (
+	osCol = 0
+	wsCol = 1
+)
 
 // NewSpace prepares the exploration space for a pool of `chiplets`
 // accelerators under the latency constraint lcstrMs, with a private
@@ -107,9 +122,11 @@ func NewSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64) *Space {
 // NewCachedSpace is NewSpace with a caller-supplied layer-cost cache,
 // letting multiple spaces (e.g. the pins of a Table I run, or every
 // scenario of a sweep grid) share memoized evaluations. A nil cache
-// evaluates uncached.
+// evaluates uncached. Either way every (layer, style) pair is
+// evaluated at most once here, at construction — the 2^n candidate
+// masks of an exploration read the precomputed table.
 func NewCachedSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64, c *costmodel.Cache) *Space {
-	return &Space{
+	s := &Space{
 		Nets:     NetsOf(trunks),
 		Chiplets: chiplets,
 		LcstrMs:  lcstrMs,
@@ -117,6 +134,21 @@ func NewCachedSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64, c *costm
 		wsAccel:  costmodel.SimbaChiplet(dataflow.WS),
 		cache:    c,
 	}
+	var layers []*dnn.Layer
+	modelIdx := map[string]int{}
+	for _, net := range s.Nets {
+		s.layerOff = append(s.layerOff, len(layers))
+		layers = append(layers, net.Layers...)
+		mi, ok := modelIdx[net.Model]
+		if !ok {
+			mi = len(modelIdx)
+			modelIdx[net.Model] = mi
+		}
+		s.netModel = append(s.netModel, mi)
+	}
+	s.nModels = len(modelIdx)
+	s.tab = c.NewTable(layers, []*costmodel.Accel{s.osAccel, s.wsAccel})
+	return s
 }
 
 // Candidates returns the WS-subset masks genuinely worth evaluating for
@@ -144,9 +176,16 @@ func (s *Space) Candidates(wsCount int) []int {
 // Evaluate scores one candidate mask. It is pure and goroutine-safe:
 // the Space is read-only and all working state is local. Returns nil
 // for infeasible packings (a style with assigned layers but no
-// chiplets).
+// chiplets). Loops that score many masks should prefer a Scanner,
+// which reuses its evaluation scratch across candidates.
 func (s *Space) Evaluate(wsCount, mask int) *Result {
-	return evaluate(s.Nets, mask, s.Chiplets-wsCount, wsCount, s.osAccel, s.wsAccel, s.LcstrMs, s.cache)
+	var scr evalScratch
+	var r Result
+	if !s.evalInto(&r, &scr, wsCount, mask) {
+		return nil
+	}
+	r.WSNets = copyNames(r.WSNets)
+	return &r
 }
 
 // Explore exhaustively searches the style assignment of nets for a pool
@@ -157,20 +196,11 @@ func Explore(trunks []*dnn.Graph, chiplets, wsCount int, lcstrMs float64) Result
 	s := NewSpace(trunks, chiplets, lcstrMs)
 	candidates := s.Candidates(wsCount)
 
-	best := Result{Name: configName(wsCount), WSCount: wsCount, EDP: math.Inf(1)}
-	for _, mask := range candidates {
-		r := s.Evaluate(wsCount, mask)
-		if r == nil {
-			continue
-		}
-		if Better(*r, best) {
-			best = *r
-			best.WSCount = wsCount
-			best.Name = configName(wsCount)
-		}
+	sc := s.NewScanner(wsCount)
+	for i, mask := range candidates {
+		sc.Scan(mask, i)
 	}
-	best.Combos = len(candidates)
-	return best
+	return sc.Finish(len(candidates))
 }
 
 // Better reports whether a beats b: feasible configurations first, then
@@ -197,95 +227,199 @@ func ConfigName(wsCount int) string {
 	}
 }
 
-// evaluate packs the layers of each net onto its style's chiplets (LPT)
-// and scores the configuration. Returns nil when a single layer alone
-// exceeds the latency constraint on its assigned style while a
-// feasible alternative could exist (infeasible packing). Layer costs go
-// through the cache: across the 2^n masks of one exploration every
-// (layer, style) pair is evaluated exactly once.
-func evaluate(nets []Net, wsMask, osChips, wsChips int,
-	osAccel, wsAccel *costmodel.Accel, lcstrMs float64, cache *costmodel.Cache) *Result {
+// evalScratch is the reusable working state of one evaluation loop:
+// the per-style latency lists handed to the LPT packer, the per-model
+// chain accumulators, and the packer's load bins. One scanner (or one
+// worker of the parallel engine) owns one scratch, so scoring a mask
+// allocates nothing after the buffers warm up.
+type evalScratch struct {
+	osMs   []float64
+	wsMs   []float64
+	chain  []float64
+	loads  []float64
+	wsNets []string
+}
 
-	limit := lcstrMs * 1.05 // the scheduler's tolerance
-	type item struct {
-		ms    float64
-		ej    float64
-		model string
+// evalInto packs the layers of each net onto its style's chiplets (LPT)
+// and scores the configuration into r. Returns false when a style has
+// assigned layers but no chiplets (infeasible packing). Layer costs
+// are pure table reads; the accumulation order (nets in order, layers
+// in order) matches the original cache-backed evaluation exactly, so
+// results are bit-for-bit identical.
+//
+// r.WSNets aliases scr's buffer — callers keeping r beyond the next
+// evalInto call on the same scratch must copy it (see copyNames).
+func (s *Space) evalInto(r *Result, scr *evalScratch, wsCount, mask int) bool {
+	limit := s.LcstrMs * 1.05 // the scheduler's tolerance
+	osChips, wsChips := s.Chiplets-wsCount, wsCount
+
+	scr.osMs = scr.osMs[:0]
+	scr.wsMs = scr.wsMs[:0]
+	scr.wsNets = scr.wsNets[:0]
+	if cap(scr.chain) < s.nModels {
+		scr.chain = make([]float64, s.nModels)
 	}
-	var osItems, wsItems []item
+	scr.chain = scr.chain[:s.nModels]
+	for i := range scr.chain {
+		scr.chain[i] = 0
+	}
+
 	var energy float64
-	modelChain := map[string]float64{}
-	var wsNets []string
-
-	for i, net := range nets {
-		onWS := wsMask&(1<<i) != 0
-		accel := osAccel
+	for i, net := range s.Nets {
+		onWS := mask&(1<<i) != 0
+		col := osCol
 		if onWS {
-			accel = wsAccel
-			wsNets = append(wsNets, net.Name)
+			col = wsCol
+			scr.wsNets = append(scr.wsNets, net.Name)
 		}
-		for _, l := range net.Layers {
-			c := cache.LayerOn(l, accel)
-			it := item{ms: c.LatencyMs, ej: c.EnergyJ, model: net.Model}
+		off, mi := s.layerOff[i], s.netModel[i]
+		for j := range net.Layers {
+			c := s.tab.Cost(off+j, col)
 			energy += c.EnergyJ
-			modelChain[net.Model] += c.LatencyMs
+			scr.chain[mi] += c.LatencyMs
 			if onWS {
-				wsItems = append(wsItems, it)
+				scr.wsMs = append(scr.wsMs, c.LatencyMs)
 			} else {
-				osItems = append(osItems, it)
+				scr.osMs = append(scr.osMs, c.LatencyMs)
 			}
 		}
 	}
 
-	pack := func(items []item, chips int) (float64, bool) {
-		if len(items) == 0 {
-			return 0, true
-		}
-		if chips <= 0 {
-			return math.Inf(1), false
-		}
-		loads := make([]float64, chips)
-		sort.Slice(items, func(i, j int) bool { return items[i].ms > items[j].ms })
-		for _, it := range items {
-			k := 0
-			for j := 1; j < chips; j++ {
-				if loads[j] < loads[k] {
-					k = j
-				}
-			}
-			loads[k] += it.ms
-		}
-		max := 0.0
-		for _, l := range loads {
-			if l > max {
-				max = l
-			}
-		}
-		return max, true
-	}
-
-	osMax, osOK := pack(osItems, osChips)
-	wsMax, wsOK := pack(wsItems, wsChips)
+	osMax, osOK := packLPT(scr.osMs, osChips, scr)
+	wsMax, wsOK := packLPT(scr.wsMs, wsChips, scr)
 	if !osOK || !wsOK {
-		return nil
+		return false
 	}
 	pipe := math.Max(osMax, wsMax)
 
 	var e2e float64
-	for _, ms := range modelChain {
+	for _, ms := range scr.chain {
 		if ms > e2e {
 			e2e = ms
 		}
 	}
-	r := &Result{
+	*r = Result{
 		E2EMs:     e2e,
 		PipeLatMs: pipe,
 		EnergyJ:   energy,
 		EDP:       energy * pipe,
 		Feasible:  pipe <= limit,
-		WSNets:    wsNets,
+		WSNets:    scr.wsNets,
 	}
-	return r
+	if len(r.WSNets) == 0 {
+		r.WSNets = nil
+	}
+	return true
+}
+
+// packLPT is longest-processing-time-first packing of the latency list
+// onto `chips` bins, returning the busiest bin. The sort is in place
+// (the list is scratch) with the same comparator the original
+// item-struct version used, so the packed order — and therefore the
+// busiest-bin value — is unchanged.
+func packLPT(ms []float64, chips int, scr *evalScratch) (float64, bool) {
+	if len(ms) == 0 {
+		return 0, true
+	}
+	if chips <= 0 {
+		return math.Inf(1), false
+	}
+	if cap(scr.loads) < chips {
+		scr.loads = make([]float64, chips)
+	}
+	loads := scr.loads[:chips]
+	for i := range loads {
+		loads[i] = 0
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] > ms[j] })
+	for _, v := range ms {
+		k := 0
+		for j := 1; j < chips; j++ {
+			if loads[j] < loads[k] {
+				k = j
+			}
+		}
+		loads[k] += v
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max, true
+}
+
+func copyNames(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	return append([]string(nil), names...)
+}
+
+// Scanner folds candidate masks into a running best with reusable
+// evaluation scratch: a serial scan over all masks — or one engine
+// worker's share of them — evaluates allocation-free, and the fold
+// rule (Better first, then lower candidate index) makes the best over
+// any subset a total-order minimum, so per-worker scanners merged in
+// any order reproduce the serial scan bit-for-bit.
+type Scanner struct {
+	space   *Space
+	wsCount int
+	scr     evalScratch
+	r       Result
+
+	best    Result
+	bestIdx int
+}
+
+// NewScanner prepares a scanner for one wsCount pin. Scanners are not
+// goroutine-safe; use one per worker and Merge the results.
+func (s *Space) NewScanner(wsCount int) *Scanner {
+	return &Scanner{
+		space:   s,
+		wsCount: wsCount,
+		best:    Result{Name: configName(wsCount), WSCount: wsCount, EDP: math.Inf(1)},
+		bestIdx: math.MaxInt,
+	}
+}
+
+// Scan evaluates one candidate mask (the idx-th candidate of the
+// enumeration) and keeps it when it beats the running best — or ties
+// it with a lower index, which is what the serial incumbent-wins scan
+// would have kept.
+func (sc *Scanner) Scan(mask, idx int) {
+	if !sc.space.evalInto(&sc.r, &sc.scr, sc.wsCount, mask) {
+		return
+	}
+	if Better(sc.r, sc.best) || (!Better(sc.best, sc.r) && idx < sc.bestIdx) {
+		sc.best = sc.r
+		sc.best.WSNets = copyNames(sc.r.WSNets)
+		sc.best.WSCount = sc.wsCount
+		sc.best.Name = configName(sc.wsCount)
+		sc.bestIdx = idx
+	}
+}
+
+// Merge folds another scanner's running best into sc. Both scanners
+// must cover disjoint index shares of the same (space, wsCount) scan;
+// merging is order-independent.
+func (sc *Scanner) Merge(o *Scanner) {
+	if o.bestIdx == math.MaxInt {
+		return
+	}
+	if Better(o.best, sc.best) || (!Better(sc.best, o.best) && o.bestIdx < sc.bestIdx) {
+		sc.best = o.best
+		sc.bestIdx = o.bestIdx
+	}
+}
+
+// Finish returns the best result seen, stamped with the candidate
+// count — exactly the value the pre-scanner serial loop returned.
+func (sc *Scanner) Finish(combos int) Result {
+	best := sc.best
+	best.Combos = combos
+	return best
 }
 
 // WSOnly evaluates the all-WS reference row of Table I (it violates the

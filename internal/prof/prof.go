@@ -1,0 +1,66 @@
+// Package prof is the shared -cpuprofile/-memprofile plumbing for the
+// CLI tools: start CPU profiling and register a heap snapshot to take
+// on stop, with one call each. See CONTRIBUTING.md ("Profiling a
+// sweep") for the capture-and-inspect recipe.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the open profile destinations of one run.
+type Profiles struct {
+	cpu *os.File
+	mem string
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// for a heap profile to be written to memPath (when non-empty) at Stop
+// time. Either path may be empty; Start with both empty returns a
+// no-op Profiles.
+func Start(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{mem: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if either was
+// requested. Safe to call on a no-op Profiles.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return fmt.Errorf("prof: close cpu profile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		p.mem = ""
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Stop is idempotent.
+	if err := p.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestNoOpProfiles(t *testing.T) {
+	p, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Errorf("no-op Stop: %v", err)
+	}
+	var nilP *Profiles
+	if err := nilP.Stop(); err != nil {
+		t.Errorf("nil Stop: %v", err)
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing-dir", "cpu.prof"), ""); err == nil {
+		t.Error("Start into a missing directory should fail")
+	}
+}

@@ -109,6 +109,14 @@ func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
 	}
 	m := pipeline.Compute(s, pipeline.Layerwise)
 
+	// The schedule compiles to a simulation graph once; the windows —
+	// serial or fanned across the pool — share the immutable graph and
+	// only instantiate per-window frame state.
+	g, err := sim.Prepare(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", b.Spec.Name, err)
+	}
+
 	nw := (frames + win - 1) / win
 	windows := make([]sim.Result, nw)
 	runWindow := func(i int) error {
@@ -117,7 +125,7 @@ func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
 			n = frames - win*(nw-1)
 		}
 		gen := b.Spec.Generator(b.Spec.Seed + windowSeedStride*uint64(i+1))
-		r, err := sim.Run(s, n, gen)
+		r, err := g.Run(n, gen)
 		if err != nil {
 			return fmt.Errorf("scenario %s window %d: %w", b.Spec.Name, i, err)
 		}

@@ -30,6 +30,46 @@ type StageSchedule struct {
 
 	mcm   *chiplet.MCM
 	cache *costmodel.Cache
+
+	// Reusable working state: Algorithm 1 refreshes each stage dozens
+	// of times per schedule, so per-refresh maps and slices are owned
+	// by the stage and cleared instead of reallocated.
+	scratch stageScratch
+}
+
+// chainGroup identifies one (replica, model) serial unit chain of the
+// stage.
+type chainGroup struct {
+	replica int
+	model   string
+}
+
+type stageScratch struct {
+	load   map[nop.Coord]float64
+	order  []*Unit
+	loads  []float64 // per-pool-index packed load (place)
+	cands  []int32   // pool indices under the placement sort
+	groups []chainGroup
+	busy   map[nop.Coord]bool
+	idle   []nop.Coord
+}
+
+func (s *stageScratch) loadMap() map[nop.Coord]float64 {
+	if s.load == nil {
+		s.load = make(map[nop.Coord]float64)
+	} else {
+		clear(s.load)
+	}
+	return s.load
+}
+
+func (s *stageScratch) busyMap() map[nop.Coord]bool {
+	if s.busy == nil {
+		s.busy = make(map[nop.Coord]bool)
+	} else {
+		clear(s.busy)
+	}
+	return s.busy
 }
 
 // newStageSchedule builds the initial unit decomposition for a stage.
@@ -90,12 +130,16 @@ func (ss *StageSchedule) refresh() error {
 		}
 	}
 	ss.place()
-	// Re-evaluate heterogeneous pools against their actual chiplets.
+	// Re-evaluate heterogeneous pools against their actual chiplets. A
+	// chiplet whose configuration equals the reference (most pools are
+	// homogeneous meshes of distinct-but-identical Accel objects) would
+	// probe to exactly u.PerShardMs — the cost model reads values, not
+	// identities — so only genuinely different configurations probe.
 	for _, u := range ss.Units {
 		worst := 0.0
 		for _, c := range u.Chiplets {
 			a := ss.mcm.At(c)
-			if a == ref {
+			if a == ref || costmodel.AccelEquivalent(a, ref) {
 				worst = maxf(worst, u.PerShardMs)
 				continue
 			}
@@ -115,13 +159,18 @@ func (ss *StageSchedule) refresh() error {
 
 // place assigns each unit's shards to chiplets with longest-processing-
 // time-first packing: heavier units claim the least-loaded chiplets.
+// Loads are tracked per pool index — plain array reads in the
+// selection loop, no coordinate hashing.
 func (ss *StageSchedule) place() {
-	load := make(map[nop.Coord]float64, len(ss.Pool))
-	for _, c := range ss.Pool {
-		load[c] = 0
+	if cap(ss.scratch.loads) < len(ss.Pool) {
+		ss.scratch.loads = make([]float64, len(ss.Pool))
 	}
-	order := make([]*Unit, len(ss.Units))
-	copy(order, ss.Units)
+	loads := ss.scratch.loads[:len(ss.Pool)]
+	for i := range loads {
+		loads[i] = 0
+	}
+	order := append(ss.scratch.order[:0], ss.Units...)
+	ss.scratch.order = order
 	sort.SliceStable(order, func(i, j int) bool {
 		return order[i].PerShardMs*float64(order[i].Shards) >
 			order[j].PerShardMs*float64(order[j].Shards)
@@ -131,38 +180,44 @@ func (ss *StageSchedule) place() {
 		if n > len(ss.Pool) {
 			n = len(ss.Pool)
 		}
-		coords := leastLoaded(load, ss.Pool, n)
+		idxs := ss.leastLoaded(loads, n)
+		coords := make([]nop.Coord, len(idxs))
+		for i, ix := range idxs {
+			coords[i] = ss.Pool[ix]
+		}
+		sortCoords(coords)
 		u.Chiplets = coords
-		for _, c := range coords {
-			load[c] += u.PerShardMs
+		for _, ix := range idxs {
+			loads[ix] += u.PerShardMs
 		}
 	}
 }
 
-// leastLoaded picks n distinct pool coords with minimal load,
-// deterministic by row-major order on ties.
-func leastLoaded(load map[nop.Coord]float64, pool []nop.Coord, n int) []nop.Coord {
-	type cl struct {
-		c nop.Coord
-		l float64
+// leastLoaded picks the n pool indices with minimal load, deterministic
+// by pool (row-major) order on ties: the candidate list starts in pool
+// order and the insertion sort is stable, matching the
+// sort.SliceStable behaviour it replaces.
+func (ss *StageSchedule) leastLoaded(loads []float64, n int) []int32 {
+	cands := ss.scratch.cands[:0]
+	for i := range ss.Pool {
+		cands = append(cands, int32(i))
 	}
-	cands := make([]cl, 0, len(pool))
-	for _, c := range pool {
-		cands = append(cands, cl{c, load[c]})
+	ss.scratch.cands = cands
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && loads[cands[j]] < loads[cands[j-1]]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].l < cands[j].l })
-	out := make([]nop.Coord, 0, n)
-	for i := 0; i < n && i < len(cands); i++ {
-		out = append(out, cands[i].c)
+	if n > len(cands) {
+		n = len(cands)
 	}
-	sortCoords(out)
-	return out
+	return cands[:n]
 }
 
 // computeMetrics derives pipe latency, E2E, energy and intra-stage NoP
 // traffic from the current placement.
 func (ss *StageSchedule) computeMetrics() {
-	load := make(map[nop.Coord]float64, len(ss.Pool))
+	load := ss.scratch.loadMap()
 	ss.EnergyJ = 0
 	ss.MACs = 0
 	for _, u := range ss.Units {
@@ -178,24 +233,41 @@ func (ss *StageSchedule) computeMetrics() {
 	}
 
 	// Intra-stage transfers: edges between units of the same instance.
+	// Each (replica, model) group is one serial chain; groups are walked
+	// in (replica, model) order — deterministic, where the map-based
+	// predecessor visited replicas in random map order. Chain latencies
+	// feed a max (order-free) and replica chains are value-symmetric, so
+	// the visit order does not change any metric.
 	ss.Transfers = ss.Transfers[:0]
-	byReplica := make(map[int][]*Unit)
+	groups := ss.scratch.groups[:0]
 	for _, u := range ss.Units {
-		byReplica[u.Replica] = append(byReplica[u.Replica], u)
+		found := false
+		for _, g := range groups {
+			if g.replica == u.Replica && g.model == u.Model {
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, chainGroup{replica: u.Replica, model: u.Model})
+		}
 	}
-	ss.NoPLatMs, ss.NoPEnergyJ = 0, 0
-	var chains []float64
-	for _, us := range byReplica {
-		chain := ss.instanceCriticalPath(us)
-		chains = append(chains, chain)
+	ss.scratch.groups = groups
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && (groups[j].replica < groups[j-1].replica ||
+			(groups[j].replica == groups[j-1].replica && groups[j].model < groups[j-1].model)); j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
 	}
+
 	// E2E of the stage: the longest instance chain (replicas and trunk
 	// models run concurrently when they own disjoint chiplets), floored
 	// by the stage's busiest chiplet (instances forced onto a shared
 	// chiplet serialize).
+	ss.NoPLatMs, ss.NoPEnergyJ = 0, 0
 	ss.E2EMs = 0
-	for _, c := range chains {
-		ss.E2EMs = maxf(ss.E2EMs, c)
+	for _, g := range groups {
+		ss.E2EMs = maxf(ss.E2EMs, ss.chainPath(g))
 	}
 	ss.E2EMs = maxf(ss.E2EMs, ss.PipeLatMs)
 	for _, t := range ss.Transfers {
@@ -205,35 +277,24 @@ func (ss *StageSchedule) computeMetrics() {
 	}
 }
 
-// instanceCriticalPath walks the units of one model instance in order,
-// summing per-shard latencies and inter-unit transfer latencies, and
-// records the transfers. Units of the same instance are serial (they
-// partition one model's layers).
-func (ss *StageSchedule) instanceCriticalPath(us []*Unit) float64 {
-	var total float64
-	models := make(map[string][]*Unit)
-	for _, u := range us {
-		models[u.Model] = append(models[u.Model], u)
-	}
-	names := make([]string, 0, len(models))
-	for name := range models {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var worst float64
-	for _, name := range names {
-		seq := models[name]
-		var chain float64
-		for i, u := range seq {
-			chain += u.PerShardMs
-			if i+1 < len(seq) {
-				chain += ss.linkUnits(u, seq[i+1])
-			}
+// chainPath walks the units of one (replica, model) instance in
+// construction order, summing per-shard latencies and inter-unit
+// transfer latencies, and records the transfers. Units of the same
+// instance are serial (they partition one model's layers).
+func (ss *StageSchedule) chainPath(g chainGroup) float64 {
+	var chain float64
+	var prev *Unit
+	for _, u := range ss.Units {
+		if u.Replica != g.replica || u.Model != g.model {
+			continue
 		}
-		worst = maxf(worst, chain)
+		if prev != nil {
+			chain += ss.linkUnits(prev, u)
+		}
+		chain += u.PerShardMs
+		prev = u
 	}
-	total = worst
-	return total
+	return chain
 }
 
 // linkUnits records the NoP transfers from producer u to consumer v and
@@ -255,9 +316,10 @@ func (ss *StageSchedule) linkUnits(u, v *Unit) float64 {
 	return worst
 }
 
-// busyChiplets returns coords with nonzero load.
+// busyChiplets returns coords with assigned work. The map is stage
+// scratch — valid until the next busyChiplets/idleCoords call.
 func (ss *StageSchedule) busyChiplets() map[nop.Coord]bool {
-	busy := make(map[nop.Coord]bool)
+	busy := ss.scratch.busyMap()
 	for _, u := range ss.Units {
 		for _, c := range u.Chiplets {
 			busy[c] = true
@@ -266,15 +328,17 @@ func (ss *StageSchedule) busyChiplets() map[nop.Coord]bool {
 	return busy
 }
 
-// idleCoords returns pool coords with no assigned work.
+// idleCoords returns pool coords with no assigned work. The slice is
+// stage scratch — valid until the next idleCoords call.
 func (ss *StageSchedule) idleCoords() []nop.Coord {
 	busy := ss.busyChiplets()
-	var idle []nop.Coord
+	idle := ss.scratch.idle[:0]
 	for _, c := range ss.Pool {
 		if !busy[c] {
 			idle = append(idle, c)
 		}
 	}
+	ss.scratch.idle = idle
 	return idle
 }
 

@@ -61,30 +61,29 @@ func TestEventDrivenMatchesGreedy(t *testing.T) {
 // for the multi-terminal boundary bug: a stage-head task depending on
 // several upstream chain terminals must charge each terminal's own
 // transfer latency (ready = max over end_i + link_i), not the first
-// terminal's link for all of them.
+// terminal's link for all of them. The per-frame template covers every
+// frame: dependencies never cross frames.
 func TestStageBoundaryChargesPerTerminalTransfer(t *testing.T) {
 	s := buildSchedule(t)
-	tasks, _, err := buildTasks(s, 2)
+	g, err := Prepare(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	multi, differing := 0, 0
-	for _, tk := range tasks {
-		if len(tk.depExtraMs) != len(tk.deps) {
-			t.Fatalf("task %s frame %d: %d extras for %d deps",
-				tk.unit.Label(), tk.frame, len(tk.depExtraMs), len(tk.deps))
-		}
-		if len(tk.deps) < 2 {
+	for _, d := range g.defs {
+		nDeps := int(d.depEnd - d.depOff)
+		if nDeps < 2 {
 			continue
 		}
 		multi++
-		for i, d := range tk.deps {
-			want := boundaryMs(s, d.unit, tk.unit)
-			if tk.depExtraMs[i] != want {
-				t.Errorf("task %s frame %d dep %d (%s): extra %.4f ms, want that terminal's transfer %.4f ms",
-					tk.unit.Label(), tk.frame, i, d.unit.Label(), tk.depExtraMs[i], want)
+		for k := d.depOff; k < d.depEnd; k++ {
+			dep := g.defs[g.depList[k]]
+			want := boundaryMs(s, dep.unit, d.unit)
+			if g.depExtra[k] != want {
+				t.Errorf("task %s dep %d (%s): extra %.4f ms, want that terminal's transfer %.4f ms",
+					d.unit.Label(), k-d.depOff, dep.unit.Label(), g.depExtra[k], want)
 			}
-			if i > 0 && tk.depExtraMs[i] != tk.depExtraMs[0] {
+			if k > d.depOff && g.depExtra[k] != g.depExtra[d.depOff] {
 				differing++
 			}
 		}

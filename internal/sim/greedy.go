@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"mcmnpu/internal/nop"
 	"mcmnpu/internal/sched"
 	"mcmnpu/internal/trace"
 )
@@ -24,49 +23,67 @@ func RunGreedy(s *sched.Schedule, frames int, gen *trace.Generator) (Result, err
 	}
 	arrivals := gen.FrameSets(frames)
 
-	tasks, frameLast, err := buildTasks(s, frames)
+	g, err := Prepare(s)
 	if err != nil {
 		return Result{}, err
 	}
+	T := len(g.defs)
+	n := frames * T
+	var (
+		done = make([]bool, n)
+		end  = make([]float64, n)
+		free = make([]float64, len(g.coords))
+		busy = make([]float64, len(g.coords))
+	)
 
-	chipletFree := map[nop.Coord]float64{}
-	busy := map[nop.Coord]float64{}
-
-	remaining := len(tasks)
+	remaining := n
 	for remaining > 0 {
 		bestIdx := -1
 		bestStart := 0.0
-		for i, t := range tasks {
-			if t.done {
+		for seq := 0; seq < n; seq++ {
+			if done[seq] {
 				continue
 			}
-			ready, ok := readyTime(t, arrivals)
-			if !ok {
+			li := seq % T
+			d := &g.defs[li]
+			base := seq - li
+			ready := arrivals[seq/T].ReadyMs
+			schedulable := true
+			for k := d.depOff; k < d.depEnd; k++ {
+				dep := base + int(g.depList[k])
+				if !done[dep] {
+					schedulable = false
+					break
+				}
+				if e := end[dep] + g.depExtra[k]; e > ready {
+					ready = e
+				}
+			}
+			if !schedulable {
 				continue
 			}
 			start := ready
-			for _, c := range t.unit.Chiplets {
-				if chipletFree[c] > start {
-					start = chipletFree[c]
+			for _, ci := range g.coordList[d.coordOff:d.coordEnd] {
+				if free[ci] > start {
+					start = free[ci]
 				}
 			}
 			if bestIdx == -1 || start < bestStart {
-				bestIdx, bestStart = i, start
+				bestIdx, bestStart = seq, start
 			}
 		}
 		if bestIdx == -1 {
 			return Result{}, fmt.Errorf("sim: deadlock with %d tasks remaining", remaining)
 		}
-		t := tasks[bestIdx]
-		t.startMs = bestStart
-		t.endMs = bestStart + t.unit.PerShardMs
-		t.done = true
-		for _, c := range t.unit.Chiplets {
-			chipletFree[c] = t.endMs
-			busy[c] += t.unit.PerShardMs
+		d := &g.defs[bestIdx%T]
+		done[bestIdx] = true
+		end[bestIdx] = bestStart + d.durMs
+		for _, ci := range g.coordList[d.coordOff:d.coordEnd] {
+			free[ci] = end[bestIdx]
+			busy[ci] += d.durMs
 		}
 		remaining--
 	}
 
-	return finishResult(s, frames, arrivals, frameLast, busy, tasks), nil
+	return g.summarize(frames, arrivals, end, busy), nil
 }

@@ -15,35 +15,63 @@
 // greedy rescan of RunGreedy while producing bit-for-bit identical
 // results (same task order, same floating-point accumulation order) —
 // TestEventDrivenMatchesGreedy holds the two engines together.
+//
+// Representation: every frame executes the same task DAG (dependencies
+// never cross frames; arrivals only gate starts), so Prepare compiles
+// the schedule once into a per-frame template — flat task definitions
+// with CSR dependency/successor lists, dense chiplet indices and
+// per-frame NoP link traffic — and Run instantiates `frames` copies of
+// it arithmetically: global task seq = frame*T + template index, which
+// reproduces the original frame-major construction order exactly. The
+// event loop itself runs on pooled flat arrays (no per-task objects, no
+// map lookups, no interface boxing in the heap), so a streaming run
+// allocates almost nothing beyond its Result.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/sched"
 	"mcmnpu/internal/trace"
 )
 
-// task is one unit execution for one frame (a gang across the unit's
-// shard chiplets).
-type task struct {
-	seq   int // construction order; the deterministic tie-breaker
-	frame int
+// taskDef is one unit execution slot of the per-frame template. Deps,
+// successors and chiplet indices are ranges into the Graph's shared
+// CSR arrays.
+type taskDef struct {
 	unit  *sched.Unit
-	deps  []*task
-	// depExtraMs[i] is the NoP latency charged on top of deps[i]'s
-	// completion: the task is ready at max_i(deps[i].end + depExtraMs[i])
-	// — each producer's transfer starts when that producer finishes, so
-	// a slow link on an early-finishing terminal never pairs with a
-	// late-finishing one.
-	depExtraMs []float64
+	durMs float64 // unit.PerShardMs at Prepare time
 
-	done    bool
-	startMs float64
-	endMs   float64
+	depOff, depEnd     int32 // into Graph.depList / Graph.depExtra
+	succOff, succEnd   int32 // into Graph.succList
+	coordOff, coordEnd int32 // into Graph.coordList
+}
+
+// Graph is a schedule compiled for simulation: the per-frame task
+// template plus everything Run needs that does not depend on the frame
+// count. A Graph is immutable after Prepare and safe for concurrent
+// Run calls — the scenario runner prepares once and fans trace windows
+// across a worker pool.
+type Graph struct {
+	s    *sched.Schedule
+	defs []taskDef
+
+	depList  []int32   // template-local dependency indices
+	depExtra []float64 // NoP latency charged on top of each dependency
+	succList []int32   // template-local successor indices
+	lastTmpl []int32   // template indices of the frame's terminal tasks
+
+	coords    []nop.Coord // used chiplets, row-major order
+	coordList []int32     // per-def dense indices into coords
+
+	// Per-frame NoP link traffic (XY routes of every inter-unit
+	// transfer); identical for every frame, so a run's totals are one
+	// multiplication away.
+	linkBytes map[nop.Link]int64
+	maxLink   int64
 }
 
 // Result summarizes a simulation run.
@@ -69,6 +97,111 @@ type Result struct {
 	LinkUtilizationPct float64 // busiest link demand / link bandwidth
 }
 
+// Prepare compiles the schedule's per-frame task template. The
+// returned Graph snapshots unit latencies and placements, so it must
+// be rebuilt if the schedule is modified.
+func Prepare(s *sched.Schedule) (*Graph, error) {
+	g := &Graph{s: s, linkBytes: map[nop.Link]int64{}}
+
+	type tpl struct {
+		unit  *sched.Unit
+		deps  []int32
+		extra []float64
+	}
+	var tpls []tpl
+	var prevTerminals []int32
+	nStages := len(s.Pipeline.Stages)
+	for i := 0; i < nStages; i++ {
+		chains := chainsOf(s.Stages[i])
+		var terminals []int32
+		for _, chain := range chains {
+			prev := int32(-1)
+			for k, u := range chain {
+				t := tpl{unit: u}
+				if prev >= 0 {
+					t.deps = append(t.deps, prev)
+					t.extra = append(t.extra, transferMs(s, chain[k-1], u))
+				} else {
+					// The stage boundary waits for every upstream
+					// chain terminal plus that terminal's own
+					// transfer (each terminal is a distinct unit
+					// with its own placement, so latencies genuinely
+					// differ per dependency).
+					for _, pt := range prevTerminals {
+						t.deps = append(t.deps, pt)
+						t.extra = append(t.extra, transferMs(s, tpls[pt].unit, u))
+					}
+				}
+				prev = int32(len(tpls))
+				tpls = append(tpls, t)
+			}
+			if prev >= 0 {
+				terminals = append(terminals, prev)
+			}
+		}
+		if len(terminals) > 0 {
+			prevTerminals = terminals
+		}
+	}
+	if len(tpls) == 0 {
+		return nil, fmt.Errorf("sim: schedule has no units")
+	}
+	g.lastTmpl = prevTerminals
+
+	// Dense chiplet indexing, row-major over the used coords.
+	coordIdx := map[nop.Coord]int32{}
+	for _, t := range tpls {
+		for _, c := range t.unit.Chiplets {
+			if _, ok := coordIdx[c]; !ok {
+				coordIdx[c] = 0
+				g.coords = append(g.coords, c)
+			}
+		}
+	}
+	sort.Slice(g.coords, func(i, j int) bool {
+		if g.coords[i].Y != g.coords[j].Y {
+			return g.coords[i].Y < g.coords[j].Y
+		}
+		return g.coords[i].X < g.coords[j].X
+	})
+	for i, c := range g.coords {
+		coordIdx[c] = int32(i)
+	}
+
+	// Flatten to CSR and account each dependency's per-frame link load.
+	succs := make([][]int32, len(tpls))
+	g.defs = make([]taskDef, len(tpls))
+	for i, t := range tpls {
+		d := &g.defs[i]
+		d.unit = t.unit
+		d.durMs = t.unit.PerShardMs
+		d.depOff = int32(len(g.depList))
+		for k, dep := range t.deps {
+			g.depList = append(g.depList, dep)
+			g.depExtra = append(g.depExtra, t.extra[k])
+			succs[dep] = append(succs[dep], int32(i))
+			recordLinks(g.linkBytes, tpls[dep].unit, t.unit)
+		}
+		d.depEnd = int32(len(g.depList))
+		d.coordOff = int32(len(g.coordList))
+		for _, c := range t.unit.Chiplets {
+			g.coordList = append(g.coordList, coordIdx[c])
+		}
+		d.coordEnd = int32(len(g.coordList))
+	}
+	for i := range g.defs {
+		g.defs[i].succOff = int32(len(g.succList))
+		g.succList = append(g.succList, succs[i]...)
+		g.defs[i].succEnd = int32(len(g.succList))
+	}
+	for _, b := range g.linkBytes {
+		if b > g.maxLink {
+			g.maxLink = b
+		}
+	}
+	return g, nil
+}
+
 // startEvent is one heap entry: a schedulable task keyed by the feasible
 // start computed when it was pushed (a lower bound on its current one).
 type startEvent struct {
@@ -76,33 +209,114 @@ type startEvent struct {
 	seq   int
 }
 
-// startHeap is a min-heap of startEvents ordered by (start, seq). The
-// seq tie-break reproduces the greedy scan's lowest-index-wins rule.
-type startHeap []startEvent
+// eventHeap is a typed binary min-heap of startEvents ordered by
+// (start, seq) — container/heap's algorithm without the interface
+// boxing. (start, seq) pairs are unique, so any correct heap pops the
+// same total order; the seq tie-break reproduces the greedy scan's
+// lowest-index-wins rule.
+type eventHeap []startEvent
 
-func (h startHeap) Len() int { return len(h) }
-func (h startHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].start != h[j].start {
 		return h[i].start < h[j].start
 	}
 	return h[i].seq < h[j].seq
 }
-func (h startHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *startHeap) Push(x any)   { *h = append(*h, x.(startEvent)) }
-func (h *startHeap) Pop() any {
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h *eventHeap) push(e startEvent) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) popMin() startEvent {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	min := old[0]
+	old[0], old[n] = old[n], old[0]
+	*h = old[:n]
+	(*h).down(0)
+	return min
+}
+
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// runScratch is the pooled flat working state of one Run: everything
+// sized by task count or chiplet count, so streaming windows reuse one
+// warm allocation set instead of rebuilding per-task objects and maps.
+type runScratch struct {
+	waiting []int32
+	ready   []float64
+	end     []float64
+	free    []float64
+	busy    []float64
+	h       eventHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+// grab sizes the scratch for n tasks over m chiplets. Only the
+// occupancy arrays need zeroing: waiting is fully initialized by the
+// caller, ready/end entries are written before any read (dependency
+// counters gate every read behind the writer).
+func (sc *runScratch) grab(n, m int) {
+	if cap(sc.waiting) < n {
+		sc.waiting = make([]int32, n)
+		sc.ready = make([]float64, n)
+		sc.end = make([]float64, n)
+	}
+	sc.waiting = sc.waiting[:n]
+	sc.ready = sc.ready[:n]
+	sc.end = sc.end[:n]
+	if cap(sc.free) < m {
+		sc.free = make([]float64, m)
+		sc.busy = make([]float64, m)
+	}
+	sc.free = sc.free[:m]
+	sc.busy = sc.busy[:m]
+	for i := range sc.free {
+		sc.free[i] = 0
+		sc.busy[i] = 0
+	}
+	sc.h = sc.h[:0]
 }
 
 // Run streams `frames` frame sets (arriving per the trace generator)
-// through the schedule and returns realized metrics. The engine is
-// event-driven: dependency counters release tasks into a min-heap of
-// (feasible start, construction order) and completions re-key only the
-// entries that went stale.
-func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
+// through the compiled schedule and returns realized metrics.
+func (g *Graph) Run(frames int, gen *trace.Generator) (Result, error) {
 	if frames <= 0 {
 		return Result{}, fmt.Errorf("sim: non-positive frame count %d", frames)
 	}
@@ -111,79 +325,80 @@ func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
 	}
 	arrivals := gen.FrameSets(frames)
 
-	tasks, frameLast, err := buildTasks(s, frames)
-	if err != nil {
-		return Result{}, err
-	}
+	T := len(g.defs)
+	n := frames * T
+	sc := scratchPool.Get().(*runScratch)
+	defer scratchPool.Put(sc)
+	sc.grab(n, len(g.coords))
 
-	chipletFree := map[nop.Coord]float64{}
-	busy := map[nop.Coord]float64{}
-
-	// Dependency counters and reverse edges: a completion decrements its
-	// successors and releases the ones that hit zero.
-	waiting := make([]int, len(tasks))
-	succs := make([][]int, len(tasks))
-	for i, t := range tasks {
-		waiting[i] = len(t.deps)
-		for _, d := range t.deps {
-			succs[d.seq] = append(succs[d.seq], i)
+	for f := 0; f < frames; f++ {
+		off := f * T
+		for li := range g.defs {
+			sc.waiting[off+li] = g.defs[li].depEnd - g.defs[li].depOff
 		}
 	}
 
-	// readyMs is fixed once a task's dependencies are all done (arrival,
-	// dep completion times and the NoP charge never change afterwards);
-	// only the chiplet-occupancy component of the start can drift.
-	readyMs := make([]float64, len(tasks))
-	startOf := func(t *task) float64 {
-		start := readyMs[t.seq]
-		for _, c := range t.unit.Chiplets {
-			if f := chipletFree[c]; f > start {
+	// startOf: a task's feasible start is its dependency-readiness
+	// pushed later by the occupancy of its gang's chiplets.
+	startOf := func(seq, li int) float64 {
+		d := &g.defs[li]
+		start := sc.ready[seq]
+		for _, ci := range g.coordList[d.coordOff:d.coordEnd] {
+			if f := sc.free[ci]; f > start {
 				start = f
 			}
 		}
 		return start
 	}
-	release := func(t *task) startEvent {
-		ready := arrivals[t.frame].ReadyMs
-		for i, d := range t.deps {
-			if e := d.endMs + t.depExtraMs[i]; e > ready {
-				ready = e
+
+	// Seed the heap with every frame's zero-dependency tasks in seq
+	// order (matching the original frame-major construction order).
+	for f := 0; f < frames; f++ {
+		off := f * T
+		for li := range g.defs {
+			d := &g.defs[li]
+			if d.depOff == d.depEnd {
+				seq := off + li
+				sc.ready[seq] = arrivals[f].ReadyMs
+				sc.h = append(sc.h, startEvent{start: startOf(seq, li), seq: seq})
 			}
 		}
-		readyMs[t.seq] = ready
-		return startEvent{start: startOf(t), seq: t.seq}
 	}
+	sc.h.init()
 
-	h := &startHeap{}
-	for i, t := range tasks {
-		if waiting[i] == 0 {
-			*h = append(*h, release(t))
-		}
-	}
-	heap.Init(h)
-
-	remaining := len(tasks)
-	for h.Len() > 0 {
-		ev := heap.Pop(h).(startEvent)
-		t := tasks[ev.seq]
-		if cur := startOf(t); cur > ev.start {
+	remaining := n
+	for len(sc.h) > 0 {
+		ev := sc.h.popMin()
+		seq := ev.seq
+		li := seq % T
+		if cur := startOf(seq, li); cur > ev.start {
 			// Stale: a gang on one of this task's chiplets was scheduled
 			// after the entry was pushed. Re-key and retry.
-			heap.Push(h, startEvent{start: cur, seq: ev.seq})
+			sc.h.push(startEvent{start: cur, seq: seq})
 			continue
 		}
-		t.startMs = ev.start
-		t.endMs = ev.start + t.unit.PerShardMs
-		t.done = true
-		for _, c := range t.unit.Chiplets {
-			chipletFree[c] = t.endMs
-			busy[c] += t.unit.PerShardMs
+		d := &g.defs[li]
+		endMs := ev.start + d.durMs
+		sc.end[seq] = endMs
+		for _, ci := range g.coordList[d.coordOff:d.coordEnd] {
+			sc.free[ci] = endMs
+			sc.busy[ci] += d.durMs
 		}
 		remaining--
-		for _, si := range succs[ev.seq] {
-			waiting[si]--
-			if waiting[si] == 0 {
-				heap.Push(h, release(tasks[si]))
+		base := seq - li
+		for _, si := range g.succList[d.succOff:d.succEnd] {
+			gs := base + int(si)
+			sc.waiting[gs]--
+			if sc.waiting[gs] == 0 {
+				sd := &g.defs[si]
+				ready := arrivals[gs/T].ReadyMs
+				for k := sd.depOff; k < sd.depEnd; k++ {
+					if e := sc.end[base+int(g.depList[k])] + g.depExtra[k]; e > ready {
+						ready = e
+					}
+				}
+				sc.ready[gs] = ready
+				sc.h.push(startEvent{start: startOf(gs, int(si)), seq: gs})
 			}
 		}
 	}
@@ -191,30 +406,88 @@ func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
 		return Result{}, fmt.Errorf("sim: deadlock with %d tasks remaining", remaining)
 	}
 
-	return finishResult(s, frames, arrivals, frameLast, busy, tasks), nil
+	return g.summarize(frames, arrivals, sc.end, sc.busy), nil
 }
 
-// finishResult assembles the Result shared by both engines: summary
-// metrics plus the whole-run NoP link accounting.
-func finishResult(s *sched.Schedule, frames int, arrivals []trace.SetArrival,
-	frameLast [][]*task, busy map[nop.Coord]float64, tasks []*task) Result {
+// Run compiles the schedule and streams `frames` frame sets through it;
+// see Graph.Run. Callers running many windows over one schedule should
+// Prepare once and share the Graph.
+func Run(s *sched.Schedule, frames int, gen *trace.Generator) (Result, error) {
+	if frames <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive frame count %d", frames)
+	}
+	g, err := Prepare(s)
+	if err != nil {
+		return Result{}, err
+	}
+	return g.Run(frames, gen)
+}
 
-	linkBytes := map[nop.Link]int64{}
-	for _, t := range tasks {
-		for _, d := range t.deps {
-			recordLinks(linkBytes, d.unit, t.unit)
+// summarize assembles the Result shared by both engines from the flat
+// end-time and busy arrays: summary metrics plus the whole-run NoP link
+// accounting (the per-frame link load times the frame count).
+func (g *Graph) summarize(frames int, arrivals []trace.SetArrival, end, busy []float64) Result {
+	r := Result{Frames: frames}
+	T := len(g.defs)
+
+	completions := make([]float64, frames)
+	r.FrameLatenciesMs = make([]float64, 0, frames)
+	for f := 0; f < frames; f++ {
+		var e float64
+		for _, li := range g.lastTmpl {
+			if v := end[f*T+int(li)]; v > e {
+				e = v
+			}
+		}
+		completions[f] = e
+		r.FrameLatenciesMs = append(r.FrameLatenciesMs, e-arrivals[f].ReadyMs)
+		if e > r.MakespanMs {
+			r.MakespanMs = e
 		}
 	}
-	r := summarize(s, frames, arrivals, frameLast, busy)
-	r.LinkBytes = linkBytes
-	for _, b := range linkBytes {
-		if b > r.BusiestLinkBytes {
-			r.BusiestLinkBytes = b
+	var sum float64
+	for _, l := range r.FrameLatenciesMs {
+		sum += l
+	}
+	r.AvgFrameLatencyMs = sum / float64(frames)
+
+	// Steady-state interval: average completion gap over the back half.
+	sort.Float64s(completions)
+	half := frames / 2
+	if frames >= 4 && completions[frames-1] > completions[half] {
+		r.SteadyIntervalMs = (completions[frames-1] - completions[half]) / float64(frames-1-half)
+	} else if frames > 1 {
+		r.SteadyIntervalMs = (completions[frames-1] - completions[0]) / float64(frames-1)
+	} else {
+		r.SteadyIntervalMs = r.MakespanMs
+	}
+	if r.SteadyIntervalMs > 0 {
+		r.ThroughputFPS = 1e3 / r.SteadyIntervalMs
+	}
+
+	// Busy accounting in row-major coordinate order: float addition is
+	// not associative, so the fixed order keeps UtilPct identical
+	// between runs (g.coords is sorted at Prepare time).
+	r.ChipletBusyMs = make(map[nop.Coord]float64, len(g.coords))
+	var busyPE float64
+	for i, c := range g.coords {
+		r.ChipletBusyMs[c] = busy[i]
+		if a := g.s.MCM.At(c); a != nil {
+			busyPE += busy[i] * float64(a.PEs)
 		}
 	}
 	if r.MakespanMs > 0 {
+		r.UtilPct = busyPE / (float64(g.s.MCM.TotalPEs()) * r.MakespanMs) * 100
+	}
+
+	r.LinkBytes = make(map[nop.Link]int64, len(g.linkBytes))
+	for l, b := range g.linkBytes {
+		r.LinkBytes[l] = b * int64(frames)
+	}
+	r.BusiestLinkBytes = g.maxLink * int64(frames)
+	if r.MakespanMs > 0 {
 		r.BusiestLinkGBps = float64(r.BusiestLinkBytes) / (r.MakespanMs * 1e-3) / 1e9
-		r.LinkUtilizationPct = r.BusiestLinkGBps / s.MCM.NoP.LinkBWGBs * 100
+		r.LinkUtilizationPct = r.BusiestLinkGBps / g.s.MCM.NoP.LinkBWGBs * 100
 	}
 	return r
 }
@@ -232,84 +505,6 @@ func recordLinks(linkBytes map[nop.Link]int64, u, v *sched.Unit) {
 			linkBytes[l] += bytes
 		}
 	}
-}
-
-// readyTime returns when the task's dependencies (and its frame's
-// arrival) allow it to start.
-func readyTime(t *task, arrivals []trace.SetArrival) (float64, bool) {
-	ready := arrivals[t.frame].ReadyMs
-	for i, d := range t.deps {
-		if !d.done {
-			return 0, false
-		}
-		if e := d.endMs + t.depExtraMs[i]; e > ready {
-			ready = e
-		}
-	}
-	return ready, true
-}
-
-// buildTasks expands the schedule into per-frame task DAGs. Transfer
-// latencies depend only on unit placement, not on the frame, so they
-// are memoized per unit pair across the frame loop.
-func buildTasks(s *sched.Schedule, frames int) ([]*task, [][]*task, error) {
-	nStages := len(s.Pipeline.Stages)
-	var all []*task
-	frameLast := make([][]*task, frames)
-
-	type unitPair struct{ u, v *sched.Unit }
-	memo := map[unitPair]float64{}
-	linkMs := func(u, v *sched.Unit) float64 {
-		k := unitPair{u, v}
-		if ms, ok := memo[k]; ok {
-			return ms
-		}
-		ms := transferMs(s, u, v)
-		memo[k] = ms
-		return ms
-	}
-
-	for f := 0; f < frames; f++ {
-		var prevTerminals []*task
-		for i := 0; i < nStages; i++ {
-			ss := s.Stages[i]
-			chains := chainsOf(ss)
-			var terminals []*task
-			for _, chain := range chains {
-				var prev *task
-				for k, u := range chain {
-					t := &task{seq: len(all), frame: f, unit: u}
-					if prev != nil {
-						t.deps = append(t.deps, prev)
-						t.depExtraMs = append(t.depExtraMs, linkMs(chain[k-1], u))
-					} else {
-						// The stage boundary waits for every upstream
-						// chain terminal plus that terminal's own
-						// transfer (each terminal is a distinct unit
-						// with its own placement, so latencies genuinely
-						// differ per dependency).
-						for _, pt := range prevTerminals {
-							t.deps = append(t.deps, pt)
-							t.depExtraMs = append(t.depExtraMs, linkMs(pt.unit, u))
-						}
-					}
-					all = append(all, t)
-					prev = t
-				}
-				if prev != nil {
-					terminals = append(terminals, prev)
-				}
-			}
-			if len(terminals) > 0 {
-				prevTerminals = terminals
-			}
-		}
-		frameLast[f] = prevTerminals
-	}
-	if len(all) == 0 {
-		return nil, nil, fmt.Errorf("sim: schedule has no units")
-	}
-	return all, frameLast, nil
 }
 
 // chainsOf groups a stage's units into serial chains per (model,
@@ -361,67 +556,3 @@ func transferMs(s *sched.Schedule, u, v *sched.Unit) float64 {
 // boundaryMs estimates the stage-boundary NoP latency from one upstream
 // terminal.
 func boundaryMs(s *sched.Schedule, u, v *sched.Unit) float64 { return transferMs(s, u, v) }
-
-func summarize(s *sched.Schedule, frames int, arrivals []trace.SetArrival,
-	frameLast [][]*task, busy map[nop.Coord]float64) Result {
-
-	r := Result{Frames: frames, ChipletBusyMs: busy}
-	completions := make([]float64, frames)
-	for f := 0; f < frames; f++ {
-		var end float64
-		for _, t := range frameLast[f] {
-			if t.endMs > end {
-				end = t.endMs
-			}
-		}
-		completions[f] = end
-		r.FrameLatenciesMs = append(r.FrameLatenciesMs, end-arrivals[f].ReadyMs)
-		if end > r.MakespanMs {
-			r.MakespanMs = end
-		}
-	}
-	var sum float64
-	for _, l := range r.FrameLatenciesMs {
-		sum += l
-	}
-	r.AvgFrameLatencyMs = sum / float64(frames)
-
-	// Steady-state interval: average completion gap over the back half.
-	sort.Float64s(completions)
-	half := frames / 2
-	if frames >= 4 && completions[frames-1] > completions[half] {
-		r.SteadyIntervalMs = (completions[frames-1] - completions[half]) / float64(frames-1-half)
-	} else if frames > 1 {
-		r.SteadyIntervalMs = (completions[frames-1] - completions[0]) / float64(frames-1)
-	} else {
-		r.SteadyIntervalMs = r.MakespanMs
-	}
-	if r.SteadyIntervalMs > 0 {
-		r.ThroughputFPS = 1e3 / r.SteadyIntervalMs
-	}
-
-	// Sum in sorted coordinate order: map iteration order is random, and
-	// float addition is not associative — an unordered sum makes UtilPct
-	// differ in the last bit between identical runs.
-	coords := make([]nop.Coord, 0, len(busy))
-	for c := range busy {
-		coords = append(coords, c)
-	}
-	sort.Slice(coords, func(i, j int) bool {
-		if coords[i].Y != coords[j].Y {
-			return coords[i].Y < coords[j].Y
-		}
-		return coords[i].X < coords[j].X
-	})
-	var busyPE float64
-	for _, c := range coords {
-		a := s.MCM.At(c)
-		if a != nil {
-			busyPE += busy[c] * float64(a.PEs)
-		}
-	}
-	if r.MakespanMs > 0 {
-		r.UtilPct = busyPE / (float64(s.MCM.TotalPEs()) * r.MakespanMs) * 100
-	}
-	return r
-}

@@ -2,7 +2,7 @@ package sweep
 
 import (
 	"context"
-	"math"
+	"sync"
 
 	"mcmnpu/internal/dnn"
 	"mcmnpu/internal/dse"
@@ -23,40 +23,44 @@ func (e *Engine) Explore(ctx context.Context, trunks []*dnn.Graph, chiplets, wsC
 }
 
 // ExploreSpace runs the parallel search over a prepared space (shared,
-// read-only — see dse.Space).
+// read-only — see dse.Space). Each worker folds its share of the
+// candidate masks into its own dse.Scanner (reusable scratch, so the
+// hot loop is table reads with no allocation and no shared state), and
+// the scanners merge afterwards. The fold rule is a total order, so
+// the merged best is the serial scan's best regardless of worker count
+// or which worker saw which index.
 func (e *Engine) ExploreSpace(ctx context.Context, space *dse.Space, wsCount int) (dse.Result, error) {
 	candidates := space.Candidates(wsCount)
 
-	type scored struct {
-		r   *dse.Result
-		idx int
-	}
-	results, err := Map(ctx, e, len(candidates), func(i int) (scored, error) {
-		return scored{r: space.Evaluate(wsCount, candidates[i]), idx: i}, nil
+	// Scanners accumulate state, so every one ever created is tracked
+	// here for the final merge — the sync.Pool only recycles them
+	// between items, it is not the source of truth.
+	var (
+		mu       sync.Mutex
+		scanners []*dse.Scanner
+	)
+	pool := sync.Pool{New: func() any {
+		sc := space.NewScanner(wsCount)
+		mu.Lock()
+		scanners = append(scanners, sc)
+		mu.Unlock()
+		return sc
+	}}
+	err := e.Each(ctx, len(candidates), func(i int) error {
+		sc := pool.Get().(*dse.Scanner)
+		sc.Scan(candidates[i], i)
+		pool.Put(sc)
+		return nil
 	})
 	if err != nil {
 		return dse.Result{}, err
 	}
 
-	best := dse.Result{EDP: math.Inf(1)}
-	bestIdx := len(candidates)
-	for _, s := range results {
-		if s.r == nil {
-			continue
-		}
-		switch {
-		case dse.Better(*s.r, best):
-			best, bestIdx = *s.r, s.idx
-		case !dse.Better(best, *s.r) && s.idx < bestIdx:
-			// Tie on (Feasible, EDP): the serial scan would have kept
-			// whichever candidate came first.
-			best, bestIdx = *s.r, s.idx
-		}
+	root := space.NewScanner(wsCount)
+	for _, sc := range scanners {
+		root.Merge(sc)
 	}
-	best.WSCount = wsCount
-	best.Name = dse.ConfigName(wsCount)
-	best.Combos = len(candidates)
-	return best, nil
+	return root.Finish(len(candidates)), nil
 }
 
 // TableI is the parallel Table I: the four configuration rows (OS-only,
