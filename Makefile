@@ -1,7 +1,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build fmt vet lint test race bench bench-json bench-baseline bench-check check golden
+.PHONY: all build fmt vet lint lint-det vulncheck test race bench bench-json bench-baseline bench-check check golden
 
 all: check
 
@@ -18,13 +18,41 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint is vet plus staticcheck when the binary is available (CI installs
-# it; local environments without it still get the vet half).
+# STATICCHECK_MOD pins the staticcheck version: `go run` resolves it
+# without touching go.mod, so every environment with network access
+# runs the same release instead of whatever binary happens to be on
+# PATH. Bump deliberately, alongside toolchain bumps.
+STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+
+# GOVULNCHECK_MOD pins the vulnerability scanner the same way. The CI
+# lint lane runs it warn-only.
+GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+# lint is vet plus the pinned staticcheck. Offline environments (no
+# module proxy, e.g. the hermetic build container) skip the staticcheck
+# half LOUDLY — the probe failing means the tool could not be fetched,
+# whereas a staticcheck finding fails the target.
 lint: vet
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
+	@if $(GO) run $(STATICCHECK_MOD) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_MOD) ./...; \
 	else \
-		echo "staticcheck not installed; skipping (CI runs it)"; \
+		echo "SKIPPED staticcheck: $(STATICCHECK_MOD) not fetchable (offline?) — CI runs it"; \
+	fi
+
+# lint-det runs the in-tree determinism linter (cmd/detlint): the
+# custom go/analysis suite enforcing rules D1-D5 from CONTRIBUTING.md.
+# No network needed — it builds from this module alone.
+lint-det:
+	$(GO) run ./cmd/detlint ./...
+
+# vulncheck scans for known vulnerabilities in the toolchain/stdlib
+# (the module has no external deps). Warn-only in CI; loud skip when
+# the pinned tool cannot be fetched.
+vulncheck:
+	@if $(GO) run $(GOVULNCHECK_MOD) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK_MOD) ./...; \
+	else \
+		echo "SKIPPED govulncheck: $(GOVULNCHECK_MOD) not fetchable (offline?) — CI runs it"; \
 	fi
 
 test:
@@ -83,5 +111,6 @@ golden:
 	$(GO) test ./cmd/pareto -run TestTopTableGolden -update
 
 # check is the tier-1 gate, mirrored by .github/workflows/ci.yml:
-# build + format + vet + race-enabled tests + bench smoke.
-check: build fmt vet race bench
+# build + format + vet + determinism lint + race-enabled tests + bench
+# smoke.
+check: build fmt vet lint-det race bench

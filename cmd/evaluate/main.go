@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mcmnpu/internal/experiments"
@@ -16,91 +17,114 @@ import (
 )
 
 func main() {
-	t1 := flag.Bool("table1", false, "heterogeneous trunks integration (paper Table I)")
-	t2 := flag.Bool("table2", false, "chiplet arrangements vs baselines (paper Table II)")
-	t3 := flag.Bool("table3", false, "occupancy upsampling ablation (paper Table III)")
-	f9 := flag.Bool("fig9", false, "NoP data movement costs (paper Fig 9)")
-	f11 := flag.Bool("fig11", false, "lane context-aware computing (paper Fig 11)")
-	abl := flag.Bool("ablations", false, "design-choice ablations (dataflow, NoP, tolerance, queue depth)")
-	all := flag.Bool("all", false, "run everything")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	t1 := fs.Bool("table1", false, "heterogeneous trunks integration (paper Table I)")
+	t2 := fs.Bool("table2", false, "chiplet arrangements vs baselines (paper Table II)")
+	t3 := fs.Bool("table3", false, "occupancy upsampling ablation (paper Table III)")
+	f9 := fs.Bool("fig9", false, "NoP data movement costs (paper Fig 9)")
+	f11 := fs.Bool("fig11", false, "lane context-aware computing (paper Fig 11)")
+	abl := fs.Bool("ablations", false, "design-choice ablations (dataflow, NoP, tolerance, queue depth)")
+	all := fs.Bool("all", false, "run everything")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) bool {
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+		return err != nil
+	}
 
 	cfg := workloads.DefaultConfig()
 	ran := false
 
 	if *t1 || *all {
-		experiments.TableI(cfg).Table().Render(os.Stdout)
-		fmt.Println()
+		experiments.TableI(cfg).Table().Render(stdout)
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if *t2 || *all {
 		rows, err := experiments.Table2(cfg)
-		fail(err)
-		experiments.Table2Table(rows).Render(os.Stdout)
-		fmt.Println()
+		if fail(err) {
+			return 1
+		}
+		experiments.Table2Table(rows).Render(stdout)
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if *t3 || *all {
-		experiments.Table3Table(experiments.Table3(cfg)).Render(os.Stdout)
-		fmt.Println()
+		experiments.Table3Table(experiments.Table3(cfg)).Render(stdout)
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if *f9 || *all {
 		_, s, err := experiments.Fig5to8(cfg)
-		fail(err)
+		if fail(err) {
+			return 1
+		}
 		rows := experiments.Fig9(s)
-		experiments.Fig9Table(rows).Render(os.Stdout)
+		experiments.Fig9Table(rows).Render(stdout)
 		labels := make([]string, 0, len(rows))
 		lats := make([]float64, 0, len(rows))
 		for _, r := range rows {
 			labels = append(labels, r.Label)
 			lats = append(lats, r.LatencyMs)
 		}
-		fmt.Println()
-		report.Bars(os.Stdout, "NoP latency per layer group", labels, lats, "ms")
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		report.Bars(stdout, "NoP latency per layer group", labels, lats, "ms")
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if *f11 || *all {
 		rows := experiments.Fig11(cfg, 82)
-		experiments.Fig11Table(rows, 82).Render(os.Stdout)
+		experiments.Fig11Table(rows, 82).Render(stdout)
 		labels := make([]string, 0, len(rows))
 		lats := make([]float64, 0, len(rows))
 		for _, r := range rows {
 			labels = append(labels, fmt.Sprintf("%d%%", r.ContextPct))
 			lats = append(lats, r.LatencyMs)
 		}
-		fmt.Println()
-		report.Bars(os.Stdout, "Lane trunk latency vs context retained", labels, lats, "ms")
+		fmt.Fprintln(stdout)
+		report.Bars(stdout, "Lane trunk latency vs context retained", labels, lats, "ms")
 		ran = true
 	}
 	if *abl || *all {
 		rows, err := experiments.DataflowAblation(cfg)
-		fail(err)
-		experiments.DataflowAblationTable(rows).Render(os.Stdout)
-		fmt.Println()
+		if fail(err) {
+			return 1
+		}
+		experiments.DataflowAblationTable(rows).Render(stdout)
+		fmt.Fprintln(stdout)
 		np, err := experiments.NoPSensitivity(cfg)
-		fail(err)
-		experiments.NoPSensitivityTable(np).Render(os.Stdout)
-		fmt.Println()
+		if fail(err) {
+			return 1
+		}
+		experiments.NoPSensitivityTable(np).Render(stdout)
+		fmt.Fprintln(stdout)
 		ts, err := experiments.ToleranceSweep(cfg)
-		fail(err)
-		experiments.ToleranceSweepTable(ts).Render(os.Stdout)
-		fmt.Println()
+		if fail(err) {
+			return 1
+		}
+		experiments.ToleranceSweepTable(ts).Render(stdout)
+		fmt.Fprintln(stdout)
 		td, err := experiments.TemporalDepthSweep(cfg)
-		fail(err)
-		experiments.TemporalDepthTable(td).Render(os.Stdout)
+		if fail(err) {
+			return 1
+		}
+		experiments.TemporalDepthTable(td).Render(stdout)
 		ran = true
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return 0
 }

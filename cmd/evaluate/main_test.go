@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoFlagsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no flags should exit 2 with usage, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-table1") {
+		t.Errorf("usage not printed to stderr:\n%s", errOut.String())
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Table III", "occupancy", "Upsampling"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-table3 output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFig9Renders(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig9"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "NoP latency per layer group") {
+		t.Errorf("-fig9 output missing bar chart:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

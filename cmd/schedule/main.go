@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"mcmnpu/internal/config"
 	"mcmnpu/internal/experiments"
@@ -25,17 +27,27 @@ import (
 )
 
 func main() {
-	npus := flag.Int("npus", 1, "active NPUs: 1 (6x6) or 2 (12x6, Fig 10)")
-	trace := flag.Bool("trace", false, "print the greedy algorithm steps")
-	cfgPath := flag.String("config", "", "experiment JSON (see internal/config)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	npus := fs.Int("npus", 1, "active NPUs: 1 (6x6) or 2 (12x6, Fig 10)")
+	trace := fs.Bool("trace", false, "print the greedy algorithm steps")
+	cfgPath := fs.String("config", "", "experiment JSON (see internal/config)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := workloads.DefaultConfig()
 	if *cfgPath != "" {
 		exp, err := config.Load(*cfgPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		cfg = exp.Workload
 	}
@@ -43,34 +55,39 @@ func main() {
 	if *npus == 2 {
 		r, err := experiments.Fig10(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		r.Table().Render(os.Stdout)
-		fmt.Printf("\nfinal pipelining latency: %.1f ms (single NPU: %.1f ms, %.2fx)\n",
+		r.Table().Render(stdout)
+		fmt.Fprintf(stdout, "\nfinal pipelining latency: %.1f ms (single NPU: %.1f ms, %.2fx)\n",
 			r.DualPipeMs, r.SinglePipeMs, r.SinglePipeMs/r.DualPipeMs)
-		return
+		return 0
 	}
 
 	rows, s, err := experiments.Fig5to8(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	experiments.Fig5to8Table(rows).Render(os.Stdout)
-	fmt.Println()
+	experiments.Fig5to8Table(rows).Render(stdout)
+	fmt.Fprintln(stdout)
 	for _, sm := range rows {
 		if len(sm.Shards) == 0 {
 			continue
 		}
-		fmt.Printf("%s sharding:\n", sm.Stage)
-		for name, n := range sm.Shards {
-			fmt.Printf("  %-40s x%d\n", name, n)
+		fmt.Fprintf(stdout, "%s sharding:\n", sm.Stage)
+		names := make([]string, 0, len(sm.Shards))
+		for name := range sm.Shards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stdout, "  %-40s x%d\n", name, sm.Shards[name])
 		}
 	}
-	printPlacement(s)
+	printPlacement(stdout, s)
 	m := pipeline.Compute(s, pipeline.Layerwise)
-	fmt.Printf("\noverall: pipe %.1f ms (%.1f FPS), E2E %.1f ms, %.3f J/frame, util %.1f%%\n",
+	fmt.Fprintf(stdout, "\noverall: pipe %.1f ms (%.1f FPS), E2E %.1f ms, %.3f J/frame, util %.1f%%\n",
 		m.PipeLatMs, m.FPS, m.E2EMs, m.EnergyJ, m.UtilPct)
 
 	if *trace {
@@ -78,14 +95,15 @@ func main() {
 		for _, st := range s.Steps {
 			t.AddRow(st.Action, st.Stage, st.PipeLatMs, st.ChipletsFree)
 		}
-		fmt.Println()
-		t.Render(os.Stdout)
+		fmt.Fprintln(stdout)
+		t.Render(stdout)
 	}
+	return 0
 }
 
 // printPlacement draws the mesh with each chiplet's stage assignment.
-func printPlacement(s *sched.Schedule) {
-	fmt.Println("\npackage map (stage index per chiplet, . = idle):")
+func printPlacement(w io.Writer, s *sched.Schedule) {
+	fmt.Fprintln(w, "\npackage map (stage index per chiplet, . = idle):")
 	owner := map[string]int{}
 	for i, ss := range s.Stages {
 		for _, u := range ss.Units {
@@ -95,15 +113,15 @@ func printPlacement(s *sched.Schedule) {
 		}
 	}
 	for y := 0; y < s.MCM.GridH; y++ {
-		fmt.Print("  ")
+		fmt.Fprint(w, "  ")
 		for x := 0; x < s.MCM.GridW; x++ {
 			key := fmt.Sprintf("(%d,%d)", x, y)
 			if st, ok := owner[key]; ok {
-				fmt.Printf("%d ", st)
+				fmt.Fprintf(w, "%d ", st)
 			} else {
-				fmt.Print(". ")
+				fmt.Fprint(w, ". ")
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

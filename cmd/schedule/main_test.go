@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultPipeline(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"sharding:", "package map", "overall: pipe"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("default run missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestShardListingSorted locks the D1 fix: shard names render in
+// sorted order, not map order.
+func TestShardListingSorted(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(out.String(), "\n")
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasSuffix(strings.TrimSpace(lines[i]), "sharding:") {
+			continue
+		}
+		var names []string
+		for j := i + 1; j < len(lines); j++ {
+			l := lines[j]
+			if !strings.HasPrefix(l, "  ") || !strings.Contains(l, " x") {
+				break
+			}
+			names = append(names, strings.Fields(l)[0])
+		}
+		for k := 1; k < len(names); k++ {
+			if names[k-1] > names[k] {
+				t.Errorf("shard listing out of order: %q after %q", names[k], names[k-1])
+			}
+		}
+	}
+}
+
+func TestBadConfigPath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-config", "does-not-exist.json"}, &out, &errOut); code != 1 {
+		t.Errorf("missing config should exit 1, got %d", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

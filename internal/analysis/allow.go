@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowName is the pseudo-analyzer name used for diagnostics about the
+// suppression comments themselves (missing justification, stale
+// allows). It cannot be suppressed.
+const AllowName = "lintallow"
+
+// allow is one parsed //lint:allow comment.
+//
+// Syntax:
+//
+//	//lint:allow <name>[,<name>...] -- <justification>
+//
+// The comment suppresses matching diagnostics reported on its own line
+// or on the line directly below it (so it works both as a trailing
+// comment and on a line of its own above the flagged statement). A
+// justification after " -- " is mandatory, and an allow whose named
+// analyzers ran without suppressing anything is itself reported as
+// stale — suppressions never outlive the finding they excuse.
+type allow struct {
+	pos       token.Pos
+	line      int
+	names     []string
+	just      string
+	malformed bool // missing or empty justification
+	used      bool
+}
+
+const allowPrefix = "lint:allow"
+
+// parseAllows extracts every //lint:allow comment of a file.
+func parseAllows(fset *token.FileSet, f *ast.File) []*allow {
+	var out []*allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+			if !ok {
+				continue
+			}
+			a := &allow{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			spec, just, hasJust := strings.Cut(text, "--")
+			for _, n := range strings.Split(spec, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					a.names = append(a.names, n)
+				}
+			}
+			a.just = strings.TrimSpace(just)
+			a.malformed = !hasJust || a.just == "" || len(a.names) == 0
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (a *allow) covers(name string, line int) bool {
+	if a.malformed || (line != a.line && line != a.line+1) {
+		return false
+	}
+	for _, n := range a.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// namesAnyOf reports whether the allow lists at least one of the given
+// analyzer names.
+func (a *allow) namesAnyOf(ran map[string]bool) bool {
+	for _, n := range a.names {
+		if ran[n] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+// Package analysis is a self-contained static-analysis framework: an
+// API-compatible subset of golang.org/x/tools/go/analysis sized for
+// this module's determinism linters (cmd/detlint). The sandboxed build
+// environment has no module proxy access, so the x/tools dependency is
+// mirrored locally instead of imported; analyzers written against this
+// package use the same Analyzer/Pass/Diagnostic shapes and port to the
+// upstream multichecker by swapping the import path.
+//
+// The framework loads and type-checks module packages from source
+// (std-library imports resolve through go/importer's source importer,
+// so no compiled export data or network is needed), runs analyzers
+// over the typed syntax, and applies the //lint:allow suppression
+// contract described in CONTRIBUTING.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid identifier
+// (it is what //lint:allow comments reference); Doc's first line is the
+// one-line summary shown by detlint -list.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run inspects one type-checked package through the Pass and
+	// reports findings via Pass.Report/Reportf. The returned value is
+	// ignored by this framework (kept for x/tools signature parity).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between one analyzer run and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoaderResolvesModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "mcmnpu" {
+		t.Fatalf("module path = %q, want mcmnpu", l.ModulePath())
+	}
+	pkgs, err := l.Load("internal/nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "mcmnpu/internal/nop" {
+		t.Fatalf("Load(internal/nop) = %v", pkgs)
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Files) == 0 {
+		t.Fatal("package loaded without types or files")
+	}
+	// Memoized: a second load returns the same package.
+	again, err := l.Load("internal/nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != pkgs[0] {
+		t.Error("second Load did not reuse the cached package")
+	}
+}
+
+func TestParseAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow mapiterorder -- trailing justified
+	//lint:allow a,b -- two names
+	//lint:allow mapiterorder
+	//lint:allow -- no names
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := parseAllows(fset, f)
+	if len(allows) != 4 {
+		t.Fatalf("parsed %d allows, want 4", len(allows))
+	}
+	first := allows[0]
+	if first.malformed || len(first.names) != 1 || first.names[0] != "mapiterorder" || first.just != "trailing justified" {
+		t.Errorf("trailing allow parsed wrong: %+v", first)
+	}
+	if !first.covers("mapiterorder", first.line) || !first.covers("mapiterorder", first.line+1) {
+		t.Error("allow should cover its own line and the next")
+	}
+	if first.covers("mapiterorder", first.line+2) || first.covers("other", first.line) {
+		t.Error("allow covers too much")
+	}
+	second := allows[1]
+	if second.malformed || len(second.names) != 2 || second.names[0] != "a" || second.names[1] != "b" {
+		t.Errorf("two-name allow parsed wrong: %+v", second)
+	}
+	if !allows[2].malformed {
+		t.Error("allow without justification should be malformed")
+	}
+	if !allows[3].malformed {
+		t.Error("allow without names should be malformed")
+	}
+}
+
+// toyAnalyzer flags every range statement — enough to drive the
+// suppression contract end to end.
+var toyAnalyzer = &Analyzer{
+	Name: "toyrange",
+	Doc:  "flags every range statement",
+	Run: func(pass *Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if rs, ok := n.(*ast.RangeStmt); ok {
+					pass.Reportf(rs.Pos(), "range statement")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestRunAppliesAllowContract(t *testing.T) {
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "src", "p")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package p
+
+func f(xs []int) int {
+	n := 0
+	for range xs { //lint:allow toyrange -- suppressed on purpose
+		n++
+	}
+	for range xs {
+		n++
+	}
+	//lint:allow toyrange
+	for range xs {
+		n++
+	}
+	//lint:allow toyrange -- nothing to suppress here
+	n++
+	//lint:allow othercheck -- analyzer did not run, not stale
+	n++
+	return n
+}
+`
+	if err := os.WriteFile(filepath.Join(pkgDir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewFixtureLoader(filepath.Join(dir, "src")).Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pkgs[0], []*Analyzer{toyAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+	// Expected: the unsuppressed range, the range under the malformed
+	// allow, the malformed allow itself, and the stale allow. The
+	// othercheck allow names an analyzer that never ran, so it is not
+	// stale.
+	byAnalyzer := map[string]int{}
+	for _, d := range res.Diagnostics {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["toyrange"] != 2 || byAnalyzer[AllowName] != 2 {
+		t.Errorf("diagnostics = %v, want 2 toyrange + 2 %s:\n%v", byAnalyzer, AllowName, render(pkgs[0].Fset, res))
+	}
+	// Position-sorted output.
+	for i := 1; i < len(res.Diagnostics); i++ {
+		if pkgs[0].Fset.Position(res.Diagnostics[i-1].Pos).Line > pkgs[0].Fset.Position(res.Diagnostics[i].Pos).Line {
+			t.Error("diagnostics not sorted by line")
+		}
+	}
+}
+
+func render(fset *token.FileSet, res Result) []string {
+	var out []string
+	for _, d := range res.Diagnostics {
+		out = append(out, Format(fset, d))
+	}
+	return out
+}

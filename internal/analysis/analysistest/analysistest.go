@@ -1,0 +1,99 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments — the
+// local counterpart of golang.org/x/tools/go/analysis/analysistest,
+// reduced to the subset the detlint suite uses.
+//
+// A fixture file marks expected findings with a trailing comment:
+//
+//	for k := range m { // want "iteration over map"
+//
+// The string is a regular expression matched against every diagnostic
+// reported on that line. Lines without a want comment must produce no
+// diagnostics. The //lint:allow machinery runs exactly as in detlint,
+// so fixtures can also assert suppression behavior (a suppressed line
+// simply carries no want, and lintallow findings are wanted like any
+// other).
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Run loads each package from testdata/src/<pkg>, applies the analyzer
+// (plus the //lint:allow contract) and asserts the diagnostics match
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join(testdata, "src"))
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		if len(pkg) != 1 {
+			t.Fatalf("fixture %s resolved to %d packages", pkgPath, len(pkg))
+		}
+		check(t, pkg[0], a)
+	}
+}
+
+// want is one expectation: a line that must produce a diagnostic
+// matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+func check(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	res, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", pkg.Path, a.Name, err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat := strings.ReplaceAll(m[1], `\"`, `"`)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Helpers shared by the determinism analyzers: small, type-aware
+// predicates over the typed AST. They live here (not in each pass) so
+// every analyzer resolves "which object is this", "is this a map", "is
+// this call fmt.Printf" the same way.
+
+// IsMap reports whether e's type is (or points through to) a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsChan reports whether e's type is a channel.
+func IsChan(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// IsFloat reports whether t's underlying type is a floating-point
+// scalar (the accumulation class where evaluation order changes the
+// result bit pattern).
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// BaseObject peels an expression down to the variable it reads or
+// writes: x, x.f, x[i], *x and (x) all resolve to x's object. Returns
+// nil for expressions not rooted at an identifier (calls, literals).
+func BaseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source span — i.e. the object is local to that statement/block.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// CalleeName resolves a call to (package path, function name) for
+// package-level functions ("fmt", "Fprintf") and to ("", method name)
+// for method or local calls. ok is false for indirect calls through
+// function values.
+func CalleeName(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(fun)
+		if f, isFunc := obj.(*types.Func); isFunc {
+			if f.Pkg() != nil {
+				return f.Pkg().Path(), f.Name(), true
+			}
+			return "", f.Name(), true
+		}
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return "", fun.Name, true
+		}
+		return "", "", false
+	case *ast.SelectorExpr:
+		if sel, isSel := info.Selections[fun]; isSel {
+			return "", sel.Obj().Name(), true // method call
+		}
+		// Qualified identifier: pkg.Func.
+		if id, isIdent := fun.X.(*ast.Ident); isIdent {
+			if pn, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				return pn.Imported().Path(), fun.Sel.Name, true
+			}
+		}
+		return "", "", false
+	default:
+		return "", "", false
+	}
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// ReceiverObject returns the object of a method's receiver variable,
+// or nil for functions and methods with anonymous receivers.
+func ReceiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.ObjectOf(fn.Recv.List[0].Names[0])
+}
+
+// UsesObject reports whether any identifier inside node resolves to
+// obj.
+func UsesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("mcmnpu/internal/sweep")
+	Dir   string // absolute source directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module (or of a
+// GOPATH-style fixture root when modPath is empty) entirely from
+// source. Standard-library imports resolve through go/importer's
+// source importer, so loading works without compiled export data or
+// network access. A Loader is not safe for concurrent use.
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // directory local import paths resolve under
+	modPath string // module path prefix; "" = fixture mode (path == rel dir)
+	pkgs    map[string]*Package
+	std     types.ImporterFrom
+	loading map[string]bool // import-cycle guard
+}
+
+// NewLoader builds a loader for the module containing dir: it walks
+// upward to the nearest go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	return newLoader(root, modPath), nil
+}
+
+// NewFixtureLoader builds a loader rooted at a GOPATH-style source
+// tree (import path "a" lives in srcRoot/a) — the layout analysistest
+// fixtures use under testdata/src.
+func NewFixtureLoader(srcRoot string) *Loader {
+	if abs, err := filepath.Abs(srcRoot); err == nil {
+		srcRoot = abs
+	}
+	return newLoader(srcRoot, "")
+}
+
+func newLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		pkgs:    make(map[string]*Package),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loading: make(map[string]bool),
+	}
+}
+
+// ModulePath returns the module path ("" in fixture mode).
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Load resolves package patterns ("./...", "./internal/sweep",
+// "internal/...") against the module root and returns the matched
+// packages, type-checked, in deterministic (import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			pat = "..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(l.root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			matched, err := goDirsUnder(base)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+			}
+			for _, d := range matched {
+				add(d)
+			}
+			continue
+		}
+		add(filepath.Join(l.root, filepath.FromSlash(pat)))
+	}
+	sort.Strings(dirs)
+
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// goDirsUnder lists every directory under base (inclusive) holding at
+// least one non-test .go file, skipping testdata, VCS and hidden dirs.
+func goDirsUnder(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// goFilesIn returns the sorted non-test .go files of one directory.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// pathFor maps an absolute package directory to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside the load root %s", dir, l.root)
+	}
+	rel = filepath.ToSlash(rel)
+	if l.modPath == "" {
+		return rel, nil
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + rel, nil
+}
+
+// dirFor maps a local import path to its absolute directory, or ""
+// when the path is not module-local.
+func (l *Loader) dirFor(path string) string {
+	if l.modPath == "" {
+		d := filepath.Join(l.root, filepath.FromSlash(path))
+		if files, err := goFilesIn(d); err == nil && len(files) > 0 {
+			return d
+		}
+		return ""
+	}
+	if path == l.modPath {
+		return l.root
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// from source here; everything else goes to the std source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// loadDir parses and type-checks the package in dir (memoized).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,121 @@
+// Package atomicmix flags fields accessed both through sync/atomic
+// calls and through plain reads or writes in the same package
+// (determinism rule D5, CONTRIBUTING.md). Mixing the two publishes
+// torn or stale values: either every access goes through sync/atomic
+// (or an atomic.Uint64-style typed field, which makes plain access
+// impossible), or none does. The lock-striped costmodel.Cache stats
+// are the in-tree design this check guards.
+//
+// Composite-literal initialization is not flagged — literal keys are
+// plain identifiers, not selector accesses, and construction happens
+// before the value is shared.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags fields accessed both via sync/atomic and via plain reads/writes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: fields (or package vars) whose address is taken inside a
+	// sync/atomic call, and the argument subtrees to exclude later.
+	atomicVars := map[types.Object]string{} // var -> atomic func name seen first
+	inAtomic := map[ast.Node]bool{}         // atomic call arg subtrees
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call)
+			if !okc || pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, isUnary := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !isUnary || u.Op != token.AND {
+					continue
+				}
+				if target := accessedObject(pass, u.X); target != nil {
+					if _, seen := atomicVars[target]; !seen {
+						atomicVars[target] = name
+					}
+					inAtomic[arg] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: any other access to those objects is a mix. Returning
+	// false on an atomic call argument prunes its whole subtree, so
+	// the sanctioned accesses never reach the selector check.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil && inAtomic[n] {
+				return false
+			}
+			var target types.Object
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				target = accessedObject(pass, v)
+			case *ast.Ident:
+				// Plain access to a package-level atomic var. Uses (not
+				// ObjectOf) so the declaring ident itself stays quiet;
+				// struct fields resolve here too (the Sel of a selector)
+				// but their Parent is nil, so accessedObject drops them
+				// and they are only reported once, via the selector.
+				if obj := pass.TypesInfo.Uses[v]; obj != nil {
+					target = packageVar(obj)
+				}
+			}
+			if target == nil {
+				return true
+			}
+			if fn, seen := atomicVars[target]; seen {
+				pass.Reportf(n.Pos(), "%s is written via atomic.%s elsewhere but accessed non-atomically here — pick one access mode (rule D5)", target.Name(), fn)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// accessedObject resolves a field selector (x.f, x.sub.f) to the
+// field's object, or an identifier to a package-level variable.
+func accessedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[v]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return nil
+	case *ast.Ident:
+		return packageVar(pass.TypesInfo.ObjectOf(v))
+	}
+	return nil
+}
+
+// packageVar returns obj if it is a package-level variable, else nil.
+func packageVar(obj types.Object) types.Object {
+	if obj == nil {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); isVar && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/atomicmix"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,44 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64
+	safe  atomic.Uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want "hits is written via atomic.AddUint64"
+}
+
+// total never goes through sync/atomic: plain access is consistent.
+func (c *counter) plainOnly() uint64 {
+	c.total++
+	return c.total
+}
+
+// Typed atomics cannot be mixed by construction: no finding.
+func (c *counter) typed() uint64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+var hits uint64
+
+func incGlobal() { atomic.AddUint64(&hits, 1) }
+
+func readGlobal() uint64 {
+	return hits // want "hits is written via atomic.AddUint64"
+}
+
+// Consistent atomic access everywhere: no finding.
+var gen uint64
+
+func bumpGen() uint64 { return atomic.AddUint64(&gen, 1) }
+
+func loadGen() uint64 { return atomic.LoadUint64(&gen) }

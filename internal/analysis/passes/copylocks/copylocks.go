@@ -1,0 +1,154 @@
+// Package copylocks is the curated standard-analyzer half of the
+// detlint suite: a local port of go vet's copylocks check (the
+// offline build environment cannot fetch golang.org/x/tools, so the
+// vetted analyzers detlint bundles are mirrored here; see
+// internal/analysis). It flags values containing sync primitives —
+// sync.Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map, and the
+// sync/atomic typed values — being copied: by-value parameters,
+// receivers and results, assignments that read an existing lock
+// location, and range value variables.
+//
+// For the determinism suite the interesting victims are the
+// lock-striped costmodel.Cache segments and pooled scratch: a copied
+// mutex guards nothing.
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the copylocks pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flags by-value copies of types containing sync primitives",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncType(pass, v.Type, v.Recv)
+			case *ast.FuncLit:
+				checkFuncType(pass, v.Type, nil)
+			case *ast.AssignStmt:
+				checkAssign(pass, v)
+			case *ast.RangeStmt:
+				checkRange(pass, v)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkFuncType(pass *analysis.Pass, ft *ast.FuncType, recv *ast.FieldList) {
+	flag := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				pass.Reportf(field.Pos(), "%s passes a lock by value: %s contains %s", kind, t, path)
+			}
+		}
+	}
+	flag(recv, "method receiver")
+	flag(ft.Params, "function parameter")
+	// Results are deliberately not flagged: `func New() T` returning a
+	// fresh zero value is the one legitimate by-value construction.
+}
+
+func checkAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	for _, rhs := range st.Rhs {
+		rhs = ast.Unparen(rhs)
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// Reading an existing location copies it; composite
+			// literals and calls produce fresh values and are fine.
+		default:
+			continue
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if path := lockPath(t, nil); path != "" {
+			pass.Reportf(st.Pos(), "assignment copies a lock value: %s contains %s", t, path)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	t := pass.TypeOf(rs.Value)
+	if t == nil {
+		return
+	}
+	if path := lockPath(t, nil); path != "" {
+		pass.Reportf(rs.Value.Pos(), "range value copies a lock: %s contains %s", t, path)
+	}
+}
+
+// lockNames are the sync primitives that must not be copied after
+// first use.
+var lockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Pool": true, "Map": true,
+}
+
+var atomicNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// lockPath returns a human-readable path to the first sync primitive
+// found inside t ("" when none): "sync.Mutex", "struct field mu
+// (sync.Mutex)", etc.
+func lockPath(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if s == t {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "sync" && lockNames[obj.Name()]:
+				return "sync." + obj.Name()
+			case obj.Pkg().Path() == "sync/atomic" && atomicNames[obj.Name()]:
+				return "atomic." + obj.Name()
+			}
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPath(u.Field(i).Type(), seen); p != "" {
+				return "field " + u.Field(i).Name() + " (" + p + ")"
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "array element (" + p + ")"
+		}
+	}
+	return ""
+}

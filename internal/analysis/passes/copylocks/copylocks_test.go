@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/copylocks"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", copylocks.Analyzer, "a")
+}

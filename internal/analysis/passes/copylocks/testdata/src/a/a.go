@@ -1,0 +1,60 @@
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want "passes a lock by value"
+	return g.n
+}
+
+// Pointer receiver/parameter: no finding.
+func byPointer(g *guarded) int {
+	return g.n
+}
+
+func (g guarded) valueMethod() int { // want "passes a lock by value"
+	return g.n
+}
+
+func (g *guarded) pointerMethod() int {
+	return g.n
+}
+
+func copyDeref(g *guarded) {
+	cp := *g // want "assignment copies a lock value"
+	_ = cp.n
+}
+
+// Composite literals construct a fresh value: no finding.
+func fresh() *guarded {
+	g := guarded{}
+	return &g
+}
+
+func iterate(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want "range value copies a lock"
+		n += g.n
+	}
+	return n
+}
+
+// Ranging over pointers copies nothing: no finding.
+func iteratePtrs(gs []*guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += g.n
+	}
+	return n
+}
+
+// Nested locks are found through struct embedding.
+type wrapper struct {
+	inner guarded
+}
+
+func nested(w wrapper) {} // want "passes a lock by value"

@@ -1,0 +1,187 @@
+// Package mapiterorder flags range statements over maps whose
+// iteration order leaks into an order-sensitive computation: float
+// accumulation (addition is not associative, so the sum's bit pattern
+// depends on visit order), slice appends that are never sorted
+// afterwards, rendered output (fmt printing, Writer/table calls) and
+// channel sends. This is determinism rule D1 (CONTRIBUTING.md) — the
+// exact bug class behind the UtilPct map-order summation fixed in
+// PR 2 and the shard-table rendering fixed alongside this analyzer.
+//
+// Deterministic map uses stay quiet: integer counters (commutative),
+// key collection followed by a sort of the collected slice, keyed
+// writes into other maps, and max/min tracking via comparisons.
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the mapiterorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc:  "flags map iteration feeding float sums, unsorted appends, rendered output or channel sends",
+	Run:  run,
+}
+
+// printFuncs are the fmt stream-printing functions (Sprint* is
+// excluded: its result is order-sensitive only if it then reaches a
+// stream, which the enclosing context flags on its own).
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are method names that emit rendered output in
+// call order (io.Writer, strings.Builder, report.Table).
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "AddRow": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok && analysis.IsMap(pass.TypesInfo, rs.X) {
+				checkLoop(pass, rs, enclosingFuncBody(stack))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// containing the top of the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkLoop reports the first order-sensitive sink in a map-range
+// body. One report per loop: the fix (sort the keys first) is the same
+// whichever sink fires.
+func checkLoop(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	done := false
+	report := func(format string, args ...interface{}) {
+		if !done {
+			done = true
+			pass.Reportf(rs.Pos(), format, args...)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := st.Lhs[0]
+				t := pass.TypeOf(lhs)
+				obj := analysis.BaseObject(pass.TypesInfo, lhs)
+				if t != nil && analysis.IsFloat(t) && obj != nil && !analysis.DeclaredWithin(obj, rs) {
+					report("map iteration accumulates into float %s: addition order changes the result — iterate sorted keys instead (rule D1)", obj.Name())
+				}
+			case token.ASSIGN:
+				checkAppend(pass, rs, funcBody, st, report)
+			}
+		case *ast.CallExpr:
+			pkg, name, ok := analysis.CalleeName(pass.TypesInfo, st)
+			if !ok {
+				return true
+			}
+			if pkg == "fmt" && printFuncs[name] {
+				report("map iteration renders output via fmt.%s in map order — iterate sorted keys instead (rule D1)", name)
+			}
+			if pkg == "" && writeMethods[name] && len(st.Args) > 0 {
+				// Only method calls (CalleeName returns pkg == "" for
+				// selector-resolved methods and locals; locals named
+				// Write etc. are close enough to flag too).
+				if _, isSel := ast.Unparen(st.Fun).(*ast.SelectorExpr); isSel {
+					report("map iteration emits output via %s in map order — iterate sorted keys instead (rule D1)", name)
+				}
+			}
+		case *ast.SendStmt:
+			report("map iteration sends on a channel in map order — iterate sorted keys instead (rule D1)")
+		}
+		return !done
+	})
+}
+
+// checkAppend flags `s = append(s, ...)` growing a slice declared
+// outside the loop, unless s is sorted after the loop in the same
+// function (the collect-keys-then-sort idiom).
+func checkAppend(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, st *ast.AssignStmt, report func(string, ...interface{})) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call); !okc || pkg != "" || name != "append" {
+		return
+	}
+	obj := analysis.BaseObject(pass.TypesInfo, st.Lhs[0])
+	if obj == nil || analysis.DeclaredWithin(obj, rs) {
+		return
+	}
+	if sortedAfter(pass, funcBody, rs, obj) {
+		return
+	}
+	report("map iteration appends to %s in map order and %s is never sorted afterwards — sort it or iterate sorted keys (rule D1)", obj.Name(), obj.Name())
+}
+
+// sortedAfter reports whether obj is passed to a sorting call after
+// the loop in the enclosing function body: anything in package sort,
+// slices.Sort*, or a helper whose name contains "sort".
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call)
+		if !okc {
+			return true
+		}
+		isSorter := pkg == "sort" ||
+			(pkg == "slices" && strings.HasPrefix(name, "Sort")) ||
+			strings.Contains(strings.ToLower(name), "sort")
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.BaseObject(pass.TypesInfo, arg) == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/mapiterorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterorder.Analyzer, "a")
+}

@@ -1,0 +1,84 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "accumulates into float total"
+		total += v
+	}
+	return total
+}
+
+// Integer accumulation commutes exactly: no finding.
+func sumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Collect-then-sort is the blessed idiom: no finding.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+func render(m map[string]int) {
+	for k, v := range m { // want "renders output via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func build(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "emits output via WriteString"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m { // want "sends on a channel"
+		ch <- v
+	}
+}
+
+// Max tracking via comparison is order-independent: no finding.
+func maxVal(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Appending to a slice declared inside the loop scope: no finding.
+func perKey(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

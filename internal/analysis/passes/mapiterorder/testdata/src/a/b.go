@@ -1,0 +1,38 @@
+package a
+
+import "fmt"
+
+// A justified allow suppresses the finding on its own line: no want.
+func allowed(m map[string]int) {
+	for k, v := range m { //lint:allow mapiterorder -- output feeds a set comparison in tests, order is irrelevant
+		fmt.Println(k, v)
+	}
+}
+
+// An allow on the line above covers the statement below it: no want.
+func allowedAbove(m map[string]int) {
+	//lint:allow mapiterorder -- debug dump, order is irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Missing the " -- justification" part is itself a finding.
+func missingJustification(m map[string]int) int {
+	n := 0
+	//lint:allow mapiterorder // want "malformed //lint:allow"
+	for range m {
+		n++
+	}
+	return n
+}
+
+// An allow that suppresses nothing is stale.
+func staleAllow(xs []int) int {
+	n := 0
+	//lint:allow mapiterorder -- slices iterate in order already // want "stale //lint:allow"
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

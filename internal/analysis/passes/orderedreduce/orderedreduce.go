@@ -1,0 +1,196 @@
+// Package orderedreduce flags worker-pool merge sites that fold
+// channel-received results in completion order (determinism rule D4,
+// CONTRIBUTING.md). The sweep/pareto engines guarantee bit-for-bit
+// parallel-equals-serial results by writing into index-addressed slots
+// (sweep.Map) or folding scanners in index order after the pool
+// drains; a loop that appends received values, keeps "the best so
+// far", or float-accumulates as results arrive re-introduces the
+// scheduling of the machine into the answer.
+//
+// Blessed patterns stay quiet: indexed stores (out[r.Idx] = r), keyed
+// map writes (per-key last-write is received exactly once), integer
+// counters (commutative), and appends that are sorted after the loop.
+package orderedreduce
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the orderedreduce pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "orderedreduce",
+	Doc:  "flags channel-receive loops that merge worker results in completion order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				if analysis.IsChan(pass.TypesInfo, loop.X) {
+					recv := map[types.Object]bool{}
+					if id, ok := loop.Key.(*ast.Ident); ok {
+						if o := pass.TypesInfo.ObjectOf(id); o != nil {
+							recv[o] = true
+						}
+					}
+					checkLoop(pass, loop, loop.Body, recv, enclosingFuncBody(stack))
+				}
+			case *ast.ForStmt:
+				recv := recvVars(pass, loop.Body)
+				if len(recv) > 0 {
+					checkLoop(pass, loop, loop.Body, recv, enclosingFuncBody(stack))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// recvVars collects variables assigned from channel receives (<-ch)
+// directly inside a for-loop body.
+func recvVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			u, isRecv := ast.Unparen(rhs).(*ast.UnaryExpr)
+			if !isRecv || u.Op != token.ARROW || i >= len(st.Lhs) {
+				continue
+			}
+			if id, isIdent := st.Lhs[i].(*ast.Ident); isIdent {
+				if o := pass.TypesInfo.ObjectOf(id); o != nil {
+					out[o] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// usesRecv reports whether e references any received-value variable.
+func usesRecv(pass *analysis.Pass, e ast.Node, recv map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && recv[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkLoop(pass *analysis.Pass, loop ast.Stmt, body *ast.BlockStmt, recv map[types.Object]bool, funcBody *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			lhs := st.Lhs[0]
+			t := pass.TypeOf(lhs)
+			obj := analysis.BaseObject(pass.TypesInfo, lhs)
+			if t != nil && analysis.IsFloat(t) && obj != nil && !analysis.DeclaredWithin(obj, loop) &&
+				usesRecv(pass, st.Rhs[0], recv) {
+				pass.Reportf(st.Pos(), "float accumulation of worker results in completion order: %s depends on scheduling — collect by index and fold in index order (rule D4)", obj.Name())
+			}
+		case token.ASSIGN:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) && len(st.Rhs) != 1 {
+					break
+				}
+				rhs := st.Rhs[min(i, len(st.Rhs)-1)]
+				if !usesRecv(pass, rhs, recv) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					// out[i] = r: the blessed index-addressed store —
+					// deterministic as long as the index is, and map
+					// stores are per-key.
+				case *ast.Ident, *ast.SelectorExpr:
+					obj := analysis.BaseObject(pass.TypesInfo, l)
+					if obj == nil || analysis.DeclaredWithin(obj, loop) || recv[obj] {
+						continue
+					}
+					if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+						if _, name, okc := analysis.CalleeName(pass.TypesInfo, call); okc && name == "append" {
+							if sortedAfter(pass, funcBody, loop, obj) {
+								continue
+							}
+							pass.Reportf(st.Pos(), "append of worker results in completion order: %s depends on scheduling — use an index-addressed slice (sweep.Map) or sort after the loop (rule D4)", obj.Name())
+							continue
+						}
+					}
+					pass.Reportf(st.Pos(), "last-write-wins fold of worker results: %s keeps whichever result arrived last — fold in index order after the pool drains (rule D4)", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter mirrors mapiterorder's collect-then-sort escape hatch.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, loop ast.Stmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call)
+		if !okc {
+			return true
+		}
+		if pkg != "sort" && !(pkg == "slices" && strings.HasPrefix(name, "Sort")) &&
+			!strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.BaseObject(pass.TypesInfo, arg) == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

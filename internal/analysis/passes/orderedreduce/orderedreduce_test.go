@@ -1,0 +1,12 @@
+package orderedreduce_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/orderedreduce"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", orderedreduce.Analyzer, "a")
+}

@@ -1,0 +1,77 @@
+package a
+
+import "sort"
+
+type result struct {
+	idx int
+	val float64
+}
+
+func appendMerge(ch chan result) []result {
+	var out []result
+	for r := range ch {
+		out = append(out, r) // want "append of worker results"
+	}
+	return out
+}
+
+// Collect-then-sort restores a total order: no finding.
+func collectSorted(ch chan result) []result {
+	var out []result
+	for r := range ch {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+func lastWins(ch chan result) result {
+	var best result
+	for r := range ch {
+		if r.val > best.val {
+			best = r // want "last-write-wins fold of worker results"
+		}
+	}
+	return best
+}
+
+func floatAccum(ch chan result) float64 {
+	var sum float64
+	for r := range ch {
+		sum += r.val // want "float accumulation of worker results"
+	}
+	return sum
+}
+
+// Index-addressed stores are the blessed merge: no finding.
+func indexed(ch chan result, out []float64) {
+	for r := range ch {
+		out[r.idx] = r.val
+	}
+}
+
+// Keyed map writes land per-key exactly once: no finding.
+func keyed(ch chan result, m map[int]float64) {
+	for r := range ch {
+		m[r.idx] = r.val
+	}
+}
+
+// Integer counters commute: no finding.
+func count(ch chan result) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// Explicit-receive form of the same float fold.
+func recvExplicit(ch chan result, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		r := <-ch
+		total += r.val // want "float accumulation of worker results"
+	}
+	return total
+}

@@ -1,0 +1,254 @@
+// Package pooldiscipline enforces the sync.Pool usage contract that
+// keeps PR 5's pooled scratch safe (determinism rule D3,
+// CONTRIBUTING.md): an object taken from a pool carries whatever state
+// its previous user left, so it must be reset before use, must not
+// escape the function that got it, and must not be touched after it
+// goes back.
+//
+// Flagged:
+//   - a Get result used before any reset-shaped call on it (method
+//     name matching (?i)^(reset|clear|grab|rearm|init)) — intentional
+//     accumulate-across-Get designs (e.g. the sweep scanner registry)
+//     carry a //lint:allow justification instead;
+//   - a Get result escaping via a return, a struct-field or indexed
+//     store, a package-level variable, an append, or a channel send;
+//   - any use of the object after the (non-deferred) Put that
+//     released it.
+package pooldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the pooldiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "flags sync.Pool objects used without reset, escaping their function, or used after Put",
+	Run:  run,
+}
+
+// resetRE matches method names accepted as "this call re-initializes
+// the pooled object": Reset, reset, Clear, grab (the sim scratch's
+// size-and-zero), rearm, Init.
+var resetRE = regexp.MustCompile(`(?i)^(reset|clear|grab|rearm|init)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// poolMethodCall reports whether call is sync.Pool method name (Get or
+// Put) and returns it.
+func poolMethodCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	return analysis.IsNamedType(s.Recv(), "sync", "Pool")
+}
+
+// getResult is one tracked pool.Get assignment inside a function.
+type getResult struct {
+	obj     types.Object // the variable holding the Get result
+	getPos  token.Pos    // position of the Get call (report anchor)
+	getEnd  token.Pos    // end of the assignment statement
+	stmtEnd token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var gets []*getResult
+
+	// Collect Get assignments and flag unassigned Get results inline.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n.Pos() != body.Pos() {
+			return false // nested functions are checked on their own
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 {
+			return true
+		}
+		call := getCall(st.Rhs[0])
+		if call == nil || !poolMethodCall(pass, call, "Get") {
+			return true
+		}
+		if len(st.Lhs) != 1 {
+			return true
+		}
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			gets = append(gets, &getResult{obj: obj, getPos: call.Pos(), getEnd: st.End(), stmtEnd: st.End()})
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		checkGet(pass, body, g)
+	}
+}
+
+// getCall unwraps `pool.Get()` or `pool.Get().(*T)` to the call.
+func getCall(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// checkGet applies the three rules to one tracked Get result.
+func checkGet(pass *analysis.Pass, body *ast.BlockStmt, g *getResult) {
+	var (
+		resetPos = token.NoPos // first reset-shaped call on g.obj
+		putEnd   = token.NoPos // end of the releasing Put call
+		putDefer bool
+	)
+	// Stack tracks defer context and the call chain so uses inside the
+	// reset/Put calls themselves don't count as plain uses.
+	var stack []ast.Node
+	type use struct {
+		pos    token.Pos
+		inCall *ast.CallExpr // innermost enclosing call with obj as receiver/arg
+	}
+	var uses []use
+	var escapes []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		// prune skips a subtree: ast.Inspect only calls back with nil
+		// after a true return, so the pushed node is popped here.
+		prune := func() bool {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if poolMethodCall(pass, v, "Put") && len(v.Args) == 1 &&
+				analysis.BaseObject(pass.TypesInfo, v.Args[0]) == g.obj {
+				putEnd = v.End()
+				for _, anc := range stack {
+					if _, isDefer := anc.(*ast.DeferStmt); isDefer {
+						putDefer = true
+					}
+				}
+				return prune() // the Put itself is not a use
+			}
+			if _, name, ok := analysis.CalleeName(pass.TypesInfo, v); ok && resetRE.MatchString(name) {
+				if recvOf(pass, v) == g.obj && (resetPos == token.NoPos || v.Pos() < resetPos) {
+					resetPos = v.Pos()
+					return prune() // uses inside the reset call don't count
+				}
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.ObjectOf(v) == g.obj && v.Pos() > g.getEnd {
+				uses = append(uses, use{pos: v.Pos()})
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if analysis.BaseObject(pass.TypesInfo, ast.Unparen(r)) == g.obj {
+					escapes = append(escapes, r.Pos())
+				}
+			}
+		case *ast.SendStmt:
+			if analysis.BaseObject(pass.TypesInfo, v.Value) == g.obj {
+				escapes = append(escapes, v.Pos())
+			}
+		case *ast.AssignStmt:
+			escapes = append(escapes, storeEscapes(pass, v, g.obj)...)
+		}
+		return true
+	})
+
+	for _, e := range escapes {
+		pass.Reportf(e, "sync.Pool object %s escapes the function that Get it — pooled objects are recycled and must not outlive their scope (rule D3)", g.obj.Name())
+	}
+	if resetPos == token.NoPos {
+		if len(uses) > 0 {
+			pass.Reportf(g.getPos, "sync.Pool.Get result %s is used without a reset call: it carries the previous user's state (rule D3)", g.obj.Name())
+		}
+	} else {
+		for _, u := range uses {
+			if u.pos < resetPos {
+				pass.Reportf(u.pos, "sync.Pool object %s is used before its reset call (rule D3)", g.obj.Name())
+				break
+			}
+		}
+	}
+	if putEnd != token.NoPos && !putDefer {
+		for _, u := range uses {
+			if u.pos > putEnd {
+				pass.Reportf(u.pos, "sync.Pool object %s is used after Put returned it to the pool (rule D3)", g.obj.Name())
+				break
+			}
+		}
+	}
+}
+
+// recvOf returns the object of a method call's receiver expression.
+func recvOf(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return analysis.BaseObject(pass.TypesInfo, sel.X)
+}
+
+// storeEscapes flags stores of obj into struct fields, indexed
+// locations, package-level variables, or appended slices.
+func storeEscapes(pass *analysis.Pass, st *ast.AssignStmt, obj types.Object) []token.Pos {
+	var out []token.Pos
+	for i, rhs := range st.Rhs {
+		rhs = ast.Unparen(rhs)
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if _, name, okc := analysis.CalleeName(pass.TypesInfo, call); okc && name == "append" {
+				for _, a := range call.Args[1:] {
+					if id, isIdent := ast.Unparen(a).(*ast.Ident); isIdent && pass.TypesInfo.ObjectOf(id) == obj {
+						out = append(out, a.Pos())
+					}
+				}
+			}
+			continue
+		}
+		id, ok := rhs.(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != obj || i >= len(st.Lhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			out = append(out, st.Pos())
+		case *ast.Ident:
+			if o := pass.TypesInfo.ObjectOf(lhs); o != nil && o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+				out = append(out, st.Pos())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package pooldiscipline_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/pooldiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", pooldiscipline.Analyzer, "a")
+}

@@ -1,0 +1,69 @@
+package a
+
+import "sync"
+
+type buf struct {
+	data []int
+}
+
+func (b *buf) Reset() { b.data = b.data[:0] }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var global *buf
+
+// Reset before use, Put when done: the full discipline, no finding.
+func good() {
+	b := pool.Get().(*buf)
+	b.Reset()
+	b.data = append(b.data, 1)
+	pool.Put(b)
+}
+
+// Deferred Put is fine: no use can follow it textually.
+func goodDefer() {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	b.Reset()
+	b.data = append(b.data, 2)
+}
+
+func noReset() {
+	b := pool.Get().(*buf) // want "used without a reset call"
+	b.data = append(b.data, 1)
+	pool.Put(b)
+}
+
+func useBeforeReset() {
+	b := pool.Get().(*buf)
+	b.data = append(b.data, 1) // want "used before its reset call"
+	b.Reset()
+	pool.Put(b)
+}
+
+func escapeReturn() *buf {
+	b := pool.Get().(*buf)
+	b.Reset()
+	return b // want "escapes the function"
+}
+
+func escapeGlobal() {
+	b := pool.Get().(*buf)
+	b.Reset()
+	global = b // want "escapes the function"
+	pool.Put(b)
+}
+
+func useAfterPut() {
+	b := pool.Get().(*buf)
+	b.Reset()
+	pool.Put(b)
+	b.data = append(b.data, 1) // want "used after Put"
+}
+
+// A justified allow silences the accumulate-by-design pattern.
+func allowedAccumulator() {
+	b := pool.Get().(*buf) //lint:allow pooldiscipline -- accumulator registry pattern: state is merged after the pool drains
+	b.data = append(b.data, 1)
+	pool.Put(b)
+}

@@ -1,0 +1,112 @@
+// Package seedpurity enforces the stateless-generation contract from
+// PR 2 (determinism rule D2, CONTRIBUTING.md): methods on
+// generator-shaped types — named *Generator, or carrying a seed field
+// — must derive their random stream from the stored seed without
+// mutating the receiver, so repeated calls reproduce identical
+// sequences and a generator can be shared across runs.
+//
+// A pointer-receiver method on such a type that assigns to a receiver
+// field (g.seed = ..., g.state++) is flagged. Value receivers mutate a
+// copy and are pure by construction, so they stay quiet, as do
+// explicit mutators (method names starting Set/Reset/Reseed).
+package seedpurity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the seedpurity pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedpurity",
+	Doc:  "flags generator methods that mutate receiver state during generation",
+	Run:  run,
+}
+
+// mutatorPrefixes name methods that are allowed to write the receiver:
+// they exist to mutate, and callers know it.
+var mutatorPrefixes = []string{"Set", "set", "Reset", "reset", "Reseed", "reseed"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			checkMethod(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl) {
+	recv := analysis.ReceiverObject(pass.TypesInfo, fn)
+	if recv == nil {
+		return
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return // value receiver: writes stay in the copy
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !generatorShaped(named) {
+		return
+	}
+	for _, p := range mutatorPrefixes {
+		if strings.HasPrefix(fn.Name.Name, p) {
+			return
+		}
+	}
+
+	tname := named.Obj().Name()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if writesReceiver(pass, lhs, recv) {
+					pass.Reportf(st.Pos(), "generator method %s.%s writes receiver state: generation must be stateless so repeated calls reproduce (rule D2)", tname, fn.Name.Name)
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesReceiver(pass, st.X, recv) {
+				pass.Reportf(st.Pos(), "generator method %s.%s mutates receiver state: generation must be stateless so repeated calls reproduce (rule D2)", tname, fn.Name.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// generatorShaped reports whether a type is covered by the contract:
+// its name ends in "Generator", or its struct carries a field named
+// seed (any case).
+func generatorShaped(named *types.Named) bool {
+	if strings.HasSuffix(named.Obj().Name(), "Generator") {
+		return true
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.EqualFold(st.Field(i).Name(), "seed") {
+			return true
+		}
+	}
+	return false
+}
+
+// writesReceiver reports whether lhs is the receiver itself (*g = x)
+// or a field path rooted at it (g.seed, g.sub.state).
+func writesReceiver(pass *analysis.Pass, lhs ast.Expr, recv types.Object) bool {
+	lhs = ast.Unparen(lhs)
+	if _, ok := lhs.(*ast.Ident); ok {
+		return false // rebinding the local receiver variable is harmless
+	}
+	return analysis.BaseObject(pass.TypesInfo, lhs) == recv
+}

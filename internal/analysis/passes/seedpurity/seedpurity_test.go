@@ -1,0 +1,12 @@
+package seedpurity_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/seedpurity"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", seedpurity.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+package a
+
+// Generator-shaped by name suffix and by having a seed field.
+type FrameGenerator struct {
+	seed uint64
+	n    int
+}
+
+func (g *FrameGenerator) Next() uint64 {
+	g.seed = g.seed*6364136223846793005 + 1442695040888963407 // want "writes receiver state"
+	return g.seed
+}
+
+func (g *FrameGenerator) Count() {
+	g.n++ // want "mutates receiver state"
+}
+
+// Stateless generation from a local copy of the seed: no finding.
+func (g *FrameGenerator) Frames(n int) []uint64 {
+	s := g.seed
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		s = s*2862933555777941757 + 3037000493
+		out = append(out, s)
+	}
+	return out
+}
+
+// Explicit mutators are the sanctioned way to change a seed.
+func (g *FrameGenerator) SetSeed(s uint64) { g.seed = s }
+
+func (g *FrameGenerator) Reseed(s uint64) { g.seed = s }
+
+// Value receiver mutates a copy: no finding.
+func (g FrameGenerator) WithSeed(s uint64) FrameGenerator {
+	g.seed = s
+	return g
+}
+
+// Generator-shaped via the seed field, regardless of type name.
+type scenario struct {
+	Seed int64
+	name string
+}
+
+func (s *scenario) rename(n string) {
+	s.name = n // want "writes receiver state"
+}
+
+// Not generator-shaped at all: mutation is fine.
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }

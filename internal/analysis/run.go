@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Result is the outcome of running a set of analyzers over one
+// package: the surviving diagnostics (position-sorted) and the count
+// of findings silenced by //lint:allow comments.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+}
+
+// Run executes the analyzers over one loaded package, applies the
+// //lint:allow suppression contract, and reports on the suppression
+// comments themselves: a missing justification and a stale allow (its
+// analyzers ran but nothing was suppressed) are findings too, under
+// the AllowName pseudo-analyzer.
+func Run(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	var allows []*allow
+	for _, f := range pkg.Files {
+		allows = append(allows, parseAllows(pkg.Fset, f)...)
+	}
+	ran := make(map[string]bool, len(analyzers))
+
+	var res Result
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return Result{}, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	diags:
+		for _, d := range raw {
+			d.Analyzer = a.Name
+			line := pkg.Fset.Position(d.Pos).Line
+			for _, al := range allows {
+				if al.covers(a.Name, line) {
+					al.used = true
+					res.Suppressed++
+					continue diags
+				}
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+
+	for _, al := range allows {
+		switch {
+		case al.malformed:
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      al.pos,
+				Analyzer: AllowName,
+				Message:  "malformed //lint:allow: want //lint:allow <analyzer>[,<analyzer>] -- <justification>",
+			})
+		case !al.used && al.namesAnyOf(ran):
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      al.pos,
+				Analyzer: AllowName,
+				Message:  "stale //lint:allow: no diagnostic suppressed on this or the next line — remove it",
+			})
+		}
+	}
+
+	SortDiagnostics(pkg.Fset, res.Diagnostics)
+	return res, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then
+// analyzer name — the stable order detlint prints and tests assert.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+// Format renders one diagnostic the way compilers do:
+// path:line:col: message [analyzer].
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s [%s]", position(fset, d.Pos), d.Message, d.Analyzer)
+}
+
+func position(fset *token.FileSet, pos token.Pos) token.Position {
+	return fset.Position(pos)
+}

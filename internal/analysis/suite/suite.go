@@ -1,0 +1,28 @@
+// Package suite registers the detlint analyzer set: the five domain
+// determinism analyzers plus the curated vetted standard checks
+// bundled with them. cmd/detlint and the analyzer integration tests
+// consume this list; keep it sorted by name so every consumer runs and
+// prints analyzers in the same order.
+package suite
+
+import (
+	"mcmnpu/internal/analysis"
+	"mcmnpu/internal/analysis/passes/atomicmix"
+	"mcmnpu/internal/analysis/passes/copylocks"
+	"mcmnpu/internal/analysis/passes/mapiterorder"
+	"mcmnpu/internal/analysis/passes/orderedreduce"
+	"mcmnpu/internal/analysis/passes/pooldiscipline"
+	"mcmnpu/internal/analysis/passes/seedpurity"
+)
+
+// All returns the full detlint suite in name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		copylocks.Analyzer,
+		mapiterorder.Analyzer,
+		orderedreduce.Analyzer,
+		pooldiscipline.Analyzer,
+		seedpurity.Analyzer,
+	}
+}

@@ -89,11 +89,14 @@ func (m *MCM) TotalPEs() int64 {
 	return n
 }
 
-// PeakMACs returns the aggregate MAC throughput (MACs/s).
+// PeakMACs returns the aggregate MAC throughput (MACs/s). Summation
+// runs in row-major coordinate order: float addition is not
+// associative, so on heterogeneous packages a map-order sum would
+// change its last bits from run to run (rule D1).
 func (m *MCM) PeakMACs() float64 {
 	var v float64
-	for _, a := range m.accels {
-		v += a.PeakMACs()
+	for _, c := range m.Coords() {
+		v += m.accels[c].PeakMACs()
 	}
 	return v
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"mcmnpu/internal/chiplet"
 	"mcmnpu/internal/costmodel"
@@ -516,6 +517,15 @@ func terminalUnits(ss *StageSchedule) []*Unit {
 	for _, u := range pick {
 		out = append(out, u)
 	}
+	// Map order would leak into the InterStage transfer list and from
+	// there into pipeline.Compute's float sums (rule D1/D4): fix a
+	// total order on (model, replica) instead.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Replica < out[j].Replica
+	})
 	return out
 }
 

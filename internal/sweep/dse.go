@@ -47,7 +47,7 @@ func (e *Engine) ExploreSpace(ctx context.Context, space *dse.Space, wsCount int
 		return sc
 	}}
 	err := e.Each(ctx, len(candidates), func(i int) error {
-		sc := pool.Get().(*dse.Scanner)
+		sc := pool.Get().(*dse.Scanner) //lint:allow pooldiscipline -- scanners accumulate across Gets by design: every one is registered in `scanners` at creation and merged in index order after the pool drains
 		sc.Scan(candidates[i], i)
 		pool.Put(sc)
 		return nil
