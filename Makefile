@@ -1,7 +1,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build fmt vet lint lint-det vulncheck test race bench bench-json bench-baseline bench-check check golden
+.PHONY: all build fmt vet lint lint-det lint-hot vulncheck test race bench bench-json bench-baseline bench-check check golden
 
 all: check
 
@@ -39,11 +39,18 @@ lint: vet
 		echo "SKIPPED staticcheck: $(STATICCHECK_MOD) not fetchable (offline?) — CI runs it"; \
 	fi
 
-# lint-det runs the in-tree determinism linter (cmd/detlint): the
-# custom go/analysis suite enforcing rules D1-D5 from CONTRIBUTING.md.
-# No network needed — it builds from this module alone.
+# lint-det runs the in-tree determinism and concurrency linter
+# (cmd/detlint): the custom go/analysis suite enforcing rules D1-D5,
+# P1 and C1-C3 from CONTRIBUTING.md. No network needed — it builds
+# from this module alone.
 lint-det:
 	$(GO) run ./cmd/detlint ./...
+
+# lint-hot audits only the hot-path allocation rule (P1) — the quick
+# local loop while optimizing: annotate a root with //perf:hot, run
+# `make lint-hot`, fix or justify what it finds.
+lint-hot:
+	$(GO) run ./cmd/detlint -only hotpathalloc ./...
 
 # vulncheck scans for known vulnerabilities in the toolchain/stdlib
 # (the module has no external deps). Warn-only in CI; loud skip when
@@ -81,6 +88,12 @@ BENCH_RUN = $(GO) test -run=NONE -bench=. -benchtime=1x -count=5 -benchmem ./...
 # counts are deterministic, so drift there is a real change, not noise.
 ALLOC_GUARD = BenchmarkSchedulerOnly,BenchmarkDiscreteEventSim
 
+# REQUIRE_BENCH is the worker-scaling ladder the bench lane must keep
+# measuring: if a rung disappears from either artifact the gate fails
+# instead of silently skipping it (the ROADMAP's parallel-scaling work
+# is graded on these three benchmarks).
+REQUIRE_BENCH = BenchmarkSweepGridParallel2,BenchmarkSweepGridParallel4,BenchmarkSweepGridParallel8
+
 # bench-json measures the working tree and distills the median ns/op
 # per benchmark into BENCH_<sha>.json via cmd/benchdiff.
 bench-json:
@@ -101,7 +114,7 @@ bench-baseline:
 # or >30% allocs/op growth on the guarded scheduler/simulator benchmarks.
 bench-check: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_$(SHA).json \
-		-threshold 20 -allocthreshold 30 -allocguard $(ALLOC_GUARD)
+		-threshold 20 -allocthreshold 30 -allocguard $(ALLOC_GUARD) -require $(REQUIRE_BENCH)
 
 # golden regenerates the snapshot files after an intentional change to
 # the analytic stack; review the diff before committing.

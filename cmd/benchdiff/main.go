@@ -21,6 +21,10 @@
 // reported as a warning, except for the benchmarks named in
 // -allocguard, where it fails the gate like a time regression (the CI
 // lane guards the scheduler and simulator hot paths this way).
+// Benchmarks named in -require must be present in both artifacts —
+// a missing one fails the gate instead of merely warning. The CI lane
+// requires the worker-scaling ladder (BenchmarkSweepGridParallel2/4/8)
+// so a deleted rung cannot silently retire the parallel-scaling gate.
 //
 // Benchmarks whose baseline median is below -floor nanoseconds
 // (default 20 ms) are reported but never fail the gate: at
@@ -75,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		floor      = fs.Float64("floor", 20e6, "ignore regressions on benchmarks with baseline median below this many ns")
 		allocThr   = fs.Float64("allocthreshold", 30, "flag allocs/op growth above this percent")
 		allocGuard = fs.String("allocguard", "", "comma-separated benchmarks whose allocs/op growth fails the gate")
+		require    = fs.String("require", "", "comma-separated benchmarks that must be present in both artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			floor:      *floor,
 			allocThr:   *allocThr,
 			allocGuard: guardSet(*allocGuard),
+			require:    nameList(*require),
 		}, stdout, stderr)
 	default:
 		fs.Usage()
@@ -103,6 +109,16 @@ func guardSet(csv string) map[string]bool {
 		}
 	}
 	return set
+}
+
+func nameList(csv string) []string {
+	var names []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			names = append(names, f)
+		}
+	}
+	return names
 }
 
 // benchLine matches one `go test -bench` result line, with or without
@@ -254,6 +270,14 @@ type compareOpts struct {
 	floor      float64
 	allocThr   float64
 	allocGuard map[string]bool
+	// require lists benchmarks that must exist in both artifacts —
+	// the lane fails when one silently disappears. The CI bench lane
+	// requires the worker-scaling ladder (BenchmarkSweepGridParallel2/
+	// 4/8) this way: a deleted or renamed rung would otherwise drop
+	// out of the comparison with only a stderr warning, and the
+	// ROADMAP's parallel-scaling gate would be gone without anyone
+	// noticing.
+	require []string
 }
 
 func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Writer) int {
@@ -266,6 +290,25 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+
+	missingRequired := 0
+	for _, name := range opts.require {
+		_, inBase := base.NsPerOp[name]
+		_, inCur := cur.NsPerOp[name]
+		if inBase && inCur {
+			continue
+		}
+		missingRequired++
+		side := "both artifacts"
+		switch {
+		case inBase:
+			side = curPath
+		case inCur:
+			side = basePath
+		}
+		fmt.Fprintf(stderr, "benchdiff: required benchmark %s missing from %s — the scaling ladder must stay measured\n",
+			name, side)
 	}
 
 	names := make([]string, 0, len(base.NsPerOp))
@@ -347,8 +390,13 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 		fmt.Fprintf(stderr, "benchdiff: %s is new (not in baseline; add it with `make bench-baseline`)\n", name)
 	}
 	t.Render(stdout)
+	if missingRequired > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d required benchmark(s) missing\n", missingRequired)
+	}
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond the gate\n", regressions)
+	}
+	if regressions > 0 || missingRequired > 0 {
 		return 1
 	}
 	return 0

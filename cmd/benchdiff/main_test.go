@@ -264,3 +264,60 @@ func TestBadInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareRequire: a benchmark named in -require must exist in both
+// artifacts; a missing rung of the scaling ladder fails the gate even
+// when everything measured is within threshold.
+func TestCompareRequire(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{
+		"BenchmarkSweepGridParallel2": 100e6,
+		"BenchmarkSweepGridParallel4": 60e6,
+		"BenchmarkSweepGridParallel8": 40e6,
+	})
+	writeArtifact(t, cur, map[string]float64{
+		"BenchmarkSweepGridParallel2": 101e6,
+		"BenchmarkSweepGridParallel4": 61e6,
+		// Parallel8 deleted: the ladder lost a rung.
+	})
+
+	ladder := "BenchmarkSweepGridParallel2,BenchmarkSweepGridParallel4,BenchmarkSweepGridParallel8"
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur, "-require", ladder}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing required benchmark should exit 1, got %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "required benchmark BenchmarkSweepGridParallel8 missing") {
+		t.Errorf("stderr should name the missing rung:\n%s", stderr.String())
+	}
+
+	// With the full ladder present the same comparison passes.
+	writeArtifact(t, cur, map[string]float64{
+		"BenchmarkSweepGridParallel2": 101e6,
+		"BenchmarkSweepGridParallel4": 61e6,
+		"BenchmarkSweepGridParallel8": 41e6,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "-current", cur, "-require", ladder}, &stdout, &stderr); code != 0 {
+		t.Fatalf("full ladder within threshold should exit 0, got %d\n%s", code, stderr.String())
+	}
+}
+
+// TestCompareRequireMissingFromBaseline: a required benchmark absent
+// from the baseline fails too — the gate is only real when both sides
+// measure it.
+func TestCompareRequireMissingFromBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkOther": 100e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkOther": 100e6, "BenchmarkSweepGridParallel2": 50e6})
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur, "-require", "BenchmarkSweepGridParallel2"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("required benchmark missing from baseline should exit 1, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), base) {
+		t.Errorf("stderr should point at the artifact missing the rung:\n%s", stderr.String())
+	}
+}

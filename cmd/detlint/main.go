@@ -1,16 +1,19 @@
-// Command detlint is the determinism linter: a multichecker running
-// the internal/analysis suite (mapiterorder, pooldiscipline,
+// Command detlint is the determinism and concurrency linter: a
+// multichecker running the internal/analysis suite over module
+// packages. The determinism family (mapiterorder, pooldiscipline,
 // seedpurity, atomicmix, orderedreduce, plus the bundled copylocks
-// port) over module packages. It machine-checks the determinism
-// contract documented in CONTRIBUTING.md — the invariants that keep
-// parallel sweeps, Pareto explorations and streaming scenario runs
-// bit-for-bit identical to their serial counterparts.
+// port — rules D1–D5) machine-checks the contract that keeps parallel
+// sweeps, Pareto explorations and streaming scenario runs bit-for-bit
+// identical to their serial counterparts. The perf/concurrency family
+// (hotpathalloc, goroleak, lockorder, ctxflow — rules P1 and C1–C3)
+// keeps //perf:hot-annotated hot paths allocation-free and goroutine,
+// lock, and context use cancellable and deadlock-free.
 //
 // Usage:
 //
 //	detlint ./...                 # lint the whole module
 //	detlint ./internal/sweep      # one package
-//	detlint -only mapiterorder ./...
+//	detlint -only hotpathalloc ./...   # hot-path allocation audit (make lint-hot)
 //	detlint -list                 # print the suite
 //	detlint -json ./...           # machine-readable findings
 //

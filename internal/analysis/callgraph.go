@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is a lightweight static call graph over one package's
+// function declarations: an edge A -> B exists when A's body (including
+// any function literals nested in it — a closure executes as part of
+// its enclosing function for reachability purposes) contains a direct
+// call that resolves to B, where B is declared in the same package.
+//
+// Deliberate limits, documented for the analyzers built on top:
+// indirect calls through function values, calls that cross package
+// boundaries, and dynamic dispatch through interfaces are not edges.
+// The graph under-approximates reachability — a hot-path analyzer
+// misses callees it cannot see, it never invents them.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	// callees per declaration, deduplicated, in first-call source order
+	// (deterministic traversal => deterministic diagnostics).
+	callees map[*ast.FuncDecl][]*ast.FuncDecl
+}
+
+// BuildCallGraph constructs the package call graph from typed syntax.
+func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*ast.FuncDecl][]*ast.FuncDecl),
+	}
+	var order []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, isFn := info.Defs[fn.Name].(*types.Func); isFn {
+				cg.decls[obj] = fn
+			}
+			order = append(order, fn)
+		}
+	}
+	for _, fn := range order {
+		if fn.Body == nil {
+			continue
+		}
+		seen := make(map[*ast.FuncDecl]bool)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			if target, local := cg.decls[callee]; local && !seen[target] {
+				seen[target] = true
+				cg.callees[fn] = append(cg.callees[fn], target)
+			}
+			return true
+		})
+	}
+	return cg
+}
+
+// CalleeFunc resolves a call expression to the function object it
+// statically invokes: package-level functions, methods (through the
+// selection), and qualified pkg.Func identifiers. Returns nil for
+// builtins, conversions and calls through function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Qualified identifier: pkg.Func.
+		f, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	default:
+		return nil
+	}
+}
+
+// Reachable returns every declaration reachable from the given roots
+// (roots included), mapped to the root that first reaches it. The BFS
+// visits roots in source order and callees in first-call order, so the
+// root attribution — which names the hot root in P1 diagnostics — is
+// deterministic.
+func (cg *CallGraph) Reachable(roots map[*ast.FuncDecl]bool) map[*ast.FuncDecl]*ast.FuncDecl {
+	var queue []*ast.FuncDecl
+	for fn := range roots {
+		queue = append(queue, fn)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+
+	out := make(map[*ast.FuncDecl]*ast.FuncDecl, len(queue))
+	rootOf := make(map[*ast.FuncDecl]*ast.FuncDecl, len(queue))
+	for _, fn := range queue {
+		out[fn] = fn
+		rootOf[fn] = fn
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range cg.callees[fn] {
+			if _, ok := out[callee]; ok {
+				continue
+			}
+			out[callee] = rootOf[fn]
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPrefix is the hot-path annotation: a comment of the form
+//
+//	//perf:hot
+//
+// in (or directly above) a function declaration's doc comment, or
+// trailing on the `func` line, marks that function as a hot root.
+// Everything statically reachable from a hot root inside the same
+// package is "on the hot path" — the hotpathalloc analyzer (rule P1)
+// flags allocation-shaped operations in per-iteration position there.
+// Text after the marker is free-form commentary:
+//
+//	//perf:hot — called once per candidate mask across the sweep pool
+//
+// The marker intentionally reuses the //lint:allow suppression contract
+// for false positives rather than growing its own opt-out syntax.
+const HotPrefix = "perf:hot"
+
+// Hots is the parsed hot-annotation state of one package.
+type Hots struct {
+	// Roots maps each annotated function declaration to the position of
+	// its //perf:hot comment.
+	Roots map[*ast.FuncDecl]token.Pos
+	// Strays are //perf:hot comments that did not attach to any function
+	// declaration — misplacements the analyzer reports rather than
+	// silently ignoring (an annotation that anchors nothing checks
+	// nothing).
+	Strays []token.Pos
+}
+
+// HotRoots scans the files for //perf:hot annotations. A comment
+// attaches to a function declaration when it sits inside the
+// declaration's doc comment, on the line directly above the `func`
+// keyword, or trails on the same line; every other placement is a
+// stray.
+func HotRoots(fset *token.FileSet, files []*ast.File) Hots {
+	h := Hots{Roots: make(map[*ast.FuncDecl]token.Pos)}
+	for _, f := range files {
+		var decls []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				decls = append(decls, fn)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//"+HotPrefix) {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				attached := false
+				for _, fn := range decls {
+					fnLine := fset.Position(fn.Pos()).Line
+					inDoc := fn.Doc != nil && c.Pos() >= fn.Doc.Pos() && c.End() <= fn.Doc.End()
+					if inDoc || line == fnLine || line+1 == fnLine {
+						if _, dup := h.Roots[fn]; !dup {
+							h.Roots[fn] = c.Pos()
+						}
+						attached = true
+						break
+					}
+				}
+				if !attached {
+					h.Strays = append(h.Strays, c.Pos())
+				}
+			}
+		}
+	}
+	return h
+}

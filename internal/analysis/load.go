@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -170,7 +171,16 @@ func goDirsUnder(base string) ([]string, error) {
 	return out, err
 }
 
-// goFilesIn returns the sorted non-test .go files of one directory.
+// buildCtx evaluates per-file build constraints (//go:build lines and
+// GOOS/GOARCH filename suffixes) against the running toolchain's
+// defaults — the same view `go build` would take of the package here.
+var buildCtx = build.Default
+
+// goFilesIn returns the sorted non-test .go files of one directory
+// that match the current build constraints: a file excluded by its
+// //go:build line (e.g. `ignore`, another GOOS) or its _GOOS/_GOARCH
+// filename suffix is not part of the package and must not reach the
+// type checker.
 func goFilesIn(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -181,6 +191,12 @@ func goFilesIn(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, matchErr := buildCtx.MatchFile(dir, name); matchErr != nil || !ok {
+			// An unreadable file surfaces as a parse error later if the
+			// directory is actually loaded; constraint mismatches are
+			// silent, exactly as in `go build`.
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeFixturePkg lays out a package under dir/src/<name> from
+// filename -> source pairs and returns a loader over dir/src.
+func writeFixturePkg(t *testing.T, files map[string]string) *Loader {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "src", "p")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(pkgDir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewFixtureLoader(filepath.Join(dir, "src"))
+}
+
+// TestLoaderSkipsBuildTaggedFiles: a file excluded by its //go:build
+// line is not part of the package — loading it anyway would double-
+// declare symbols or pull in platform code the type checker cannot
+// resolve.
+func TestLoaderSkipsBuildTaggedFiles(t *testing.T) {
+	loader := writeFixturePkg(t, map[string]string{
+		"a.go": "package p\n\nfunc A() int { return 1 }\n",
+		// Same symbol, conflicting signature: type-checking breaks if
+		// the constraint is ignored.
+		"gen.go": "//go:build ignore\n\npackage main\n\nfunc A() string { return \"generator\" }\n",
+	})
+	pkgs, err := loader.Load("p")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (gen.go is build-ignored)", len(pkgs[0].Files))
+	}
+}
+
+// TestLoaderSkipsOtherGOOSFiles: _GOOS filename suffixes are build
+// constraints too.
+func TestLoaderSkipsOtherGOOSFiles(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	loader := writeFixturePkg(t, map[string]string{
+		"a.go":                 "package p\n\nfunc A() int { return 1 }\n",
+		"a_" + otherOS + ".go": "package p\n\nfunc A() int { return 2 }\n",
+	})
+	pkgs, err := loader.Load("p")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (a_%s.go is for another GOOS)", len(pkgs[0].Files), otherOS)
+	}
+}
+
+// TestLoaderExcludesTestFiles: _test.go files never load, even when
+// they would not type-check — analyzers see the shipped package only.
+func TestLoaderExcludesTestFiles(t *testing.T) {
+	loader := writeFixturePkg(t, map[string]string{
+		"a.go":      "package p\n\nfunc A() int { return 1 }\n",
+		"a_test.go": "package p\n\nfunc TestBroken(t *testing.T) { undefinedSymbol() }\n",
+	})
+	pkgs, err := loader.Load("p")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (a_test.go excluded)", len(pkgs[0].Files))
+	}
+}
+
+// TestLoaderReportsTypeCheckFailure: a package that does not
+// type-check comes back as an error naming the package — never a
+// panic, and never a half-typed package handed to analyzers.
+func TestLoaderReportsTypeCheckFailure(t *testing.T) {
+	loader := writeFixturePkg(t, map[string]string{
+		"broken.go": "package p\n\nfunc B() int { return undefinedSymbol }\n",
+	})
+	_, err := loader.Load("p")
+	if err == nil {
+		t.Fatal("Load succeeded on a package that cannot type-check")
+	}
+	if !strings.Contains(err.Error(), "type-checking") || !strings.Contains(err.Error(), "p") {
+		t.Fatalf("error %q does not identify the type-check failure", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package ctxflow checks that cancellation flows through the API the
+// way the sweep engine already models it: a context.Context argument,
+// threaded from the caller down to the workers. This is concurrency
+// rule C3 (CONTRIBUTING.md). Three shapes are reported:
+//
+//   - an exported function or method that starts a goroutine but has
+//     no context.Context parameter — callers get no way to cancel the
+//     work they triggered
+//
+//   - a context.Context stored in a struct field — a context is
+//     call-scoped, not object-scoped; storing one hides the
+//     cancellation chain and outlives its deadline (the contract
+//     documented on the context package itself)
+//
+//   - context.Background() or context.TODO() in library code — a root
+//     context severs the caller's cancellation; accept a ctx instead
+//
+// Package main is exempt: a binary's entry point is exactly where root
+// contexts are created and where there is no caller to thread one in.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags exported goroutine-spawners without ctx, contexts in structs, and root contexts in library code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				checkExportedSpawner(pass, d)
+			case *ast.StructType:
+				checkStructFields(pass, d)
+			case *ast.CallExpr:
+				checkRootContext(pass, d)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkExportedSpawner reports exported functions that contain a go
+// statement but accept no context.Context.
+func checkExportedSpawner(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Body == nil {
+		return
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if t := pass.TypeOf(field.Type); t != nil && analysis.IsNamedType(t, "context", "Context") {
+				return
+			}
+		}
+	}
+	var spawn *ast.GoStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if spawn != nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawn = g
+			return false
+		}
+		return true
+	})
+	if spawn != nil {
+		pass.Reportf(fn.Name.Pos(), "exported %s starts a goroutine but has no context.Context parameter — callers cannot cancel the work (rule C3)", fn.Name.Name)
+	}
+}
+
+// checkStructFields reports context.Context struct fields.
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if t := pass.TypeOf(field.Type); t != nil && analysis.IsNamedType(t, "context", "Context") {
+			pass.Reportf(field.Pos(), "context.Context stored in a struct — a context is call-scoped, pass it as the first argument instead (rule C3)")
+		}
+	}
+}
+
+// checkRootContext reports context.Background()/context.TODO() calls:
+// library code should accept a ctx, not mint its own root.
+func checkRootContext(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if !ok || pkg != "context" || (name != "Background" && name != "TODO") {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() creates a root context in library code — accept a ctx from the caller instead (rule C3)", name)
+}

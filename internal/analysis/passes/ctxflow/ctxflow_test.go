@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "m")
+}

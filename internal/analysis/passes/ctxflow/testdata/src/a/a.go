@@ -1,0 +1,49 @@
+// Package a exercises the ctxflow analyzer (rule C3): exported
+// goroutine-spawners without a context parameter, contexts stored in
+// structs, and root contexts in library code fire; threaded contexts
+// and unexported helpers stay quiet.
+package a
+
+import "context"
+
+func work() {}
+
+// Detached starts work the caller can never cancel: flagged.
+func Detached() { // want "exported Detached starts a goroutine but has no context.Context parameter"
+	go work()
+}
+
+// Supervised threads a ctx through: quiet.
+func Supervised(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// helper is unexported — its callers inside the package own the
+// cancellation story: quiet.
+func helper() {
+	go work()
+}
+
+// Compute is exported but spawns nothing: quiet.
+func Compute(n int) int { return n * 2 }
+
+// job stores a context: flagged — a context is call-scoped.
+type job struct {
+	ctx  context.Context // want "context.Context stored in a struct"
+	name string
+}
+
+// runner holds only data: quiet.
+type runner struct {
+	name string
+}
+
+// Detach mints root contexts in library code: both flagged.
+func Detach() {
+	ctx := context.Background() // want "creates a root context in library code"
+	_ = ctx
+	todo := context.TODO() // want "creates a root context in library code"
+	_ = todo
+}

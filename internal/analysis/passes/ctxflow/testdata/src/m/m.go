@@ -1,0 +1,18 @@
+// Command m proves the package-main exemption: a binary's entry point
+// is exactly where root contexts belong, so nothing here fires.
+package main
+
+import "context"
+
+func work() {}
+
+// Run would fire in library code — quiet in package main.
+func Run() {
+	go work()
+}
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	Run()
+}

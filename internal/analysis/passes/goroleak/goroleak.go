@@ -1,0 +1,271 @@
+// Package goroleak flags goroutines with no way out. This is
+// concurrency rule C1 (CONTRIBUTING.md), aimed at the failure mode
+// that matters for the long-lived daemon work on the ROADMAP: a
+// goroutine that outlives its purpose pins its stack, its captures,
+// and (when it is blocked on a channel) the channel's other users,
+// forever.
+//
+// Two shapes are reported:
+//
+//   - a go statement whose body runs `for { ... }` with no return,
+//     break, or goto anywhere inside — an infinite loop with no
+//     cancellation path. Loops that select on a ctx.Done()/done
+//     channel escape via the return in that case and stay quiet.
+//
+//   - a naked (non-select) send on an unbuffered channel that the
+//     enclosing function makes locally and never receives from —
+//     the sender blocks forever. Sends inside a select (which can
+//     take a cancellation branch), sends on buffered or escaping
+//     channels, and channels the function ranges over or receives
+//     from stay quiet.
+//
+// Both rules under-approximate: an escape the pass cannot see (a
+// break out of a labeled outer loop via a switch, a receiver in
+// another package) suppresses the report. The pass misses leaks, it
+// does not invent them.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutines with no cancellation path and unbuffered sends with no receiver",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	chans := localUnbufferedChans(pass, fn.Body)
+	received := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	classifyUses(pass, fn.Body, chans, received, escaped)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := goroutineBody(pass, g)
+		if body == nil {
+			return true
+		}
+		checkForever(pass, body)
+		checkNakedSends(pass, body, chans, received, escaped)
+		return true
+	})
+}
+
+// goroutineBody resolves the body the go statement runs: a function
+// literal's body directly, or the body of a same-package declared
+// function. Calls through function values resolve to nil.
+func goroutineBody(pass *analysis.Pass, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	callee := analysis.CalleeFunc(pass.TypesInfo, g.Call)
+	if callee == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, isFn := pass.TypesInfo.Defs[fn.Name].(*types.Func); isFn && obj == callee {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkForever reports `for { ... }` loops in a goroutine body with no
+// return, break, or goto inside: nothing ever leaves the loop, so the
+// goroutine can never exit.
+func checkForever(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if hasEscape(loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "goroutine loops forever with no return, break, or goto — no cancellation path out (rule C1)")
+		return false // one report per loop nest
+	})
+}
+
+// hasEscape reports whether body contains any statement that could
+// leave the enclosing loop: return, break, goto, or a call to panic.
+// A break targeting an inner switch or select counts too — that is
+// the deliberate under-approximation documented on the package.
+func hasEscape(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure's return does not exit this loop
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			// break and goto can leave the loop; continue cannot.
+			if st.Tok == token.BREAK || st.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(st.Fun).(*ast.Ident); isIdent && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// localUnbufferedChans collects channel variables the function makes
+// with no buffer: `ch := make(chan T)` (a one-argument make).
+func localUnbufferedChans(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	chans := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, okCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !okCall || len(call.Args) != 1 {
+				continue
+			}
+			if pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call); !okc || pkg != "" || name != "make" {
+				continue
+			}
+			if !analysis.IsChan(pass.TypesInfo, call) {
+				continue
+			}
+			id, okID := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !okID {
+				continue
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				chans[obj] = true
+			}
+		}
+		return true
+	})
+	return chans
+}
+
+// classifyUses records, for each tracked channel, whether the function
+// ever receives from it and whether it escapes the function's control
+// (passed to a call other than close/len/cap, returned, stored in a
+// composite literal, or sent over another channel).
+func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, chans, received, escaped map[types.Object]bool) {
+	obj := func(e ast.Expr) types.Object {
+		o := analysis.BaseObject(pass.TypesInfo, e)
+		if o != nil && chans[o] {
+			return o
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW {
+				if o := obj(st.X); o != nil {
+					received[o] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if o := obj(st.X); o != nil {
+				received[o] = true
+			}
+		case *ast.CallExpr:
+			pkg, name, ok := analysis.CalleeName(pass.TypesInfo, st)
+			exempt := ok && pkg == "" && (name == "close" || name == "len" || name == "cap" || name == "make")
+			if exempt {
+				return true
+			}
+			for _, arg := range st.Args {
+				if o := obj(arg); o != nil {
+					escaped[o] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if o := obj(r); o != nil {
+					escaped[o] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				e := el
+				if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+					e = kv.Value
+				}
+				if o := obj(e); o != nil {
+					escaped[o] = true
+				}
+			}
+		case *ast.SendStmt:
+			// ch2 <- ch: the channel value escapes through another channel.
+			if o := obj(st.Value); o != nil {
+				escaped[o] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkNakedSends reports sends inside a goroutine body on a tracked
+// unbuffered channel the enclosing function never receives from. A
+// send wrapped in a select stays quiet — the select can take a
+// cancellation branch instead of blocking.
+func checkNakedSends(pass *analysis.Pass, body *ast.BlockStmt, chans, received, escaped map[types.Object]bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		for i := len(stack) - 2; i >= 0; i-- {
+			if _, inSelect := stack[i].(*ast.SelectStmt); inSelect {
+				return true
+			}
+		}
+		o := analysis.BaseObject(pass.TypesInfo, send.Chan)
+		if o == nil || !chans[o] || received[o] || escaped[o] {
+			return true
+		}
+		pass.Reportf(send.Pos(), "send on unbuffered channel %s, which the enclosing function never receives from — the goroutine blocks forever (rule C1)", o.Name())
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"mcmnpu/internal/analysis/analysistest"
+	"mcmnpu/internal/analysis/passes/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "a")
+}

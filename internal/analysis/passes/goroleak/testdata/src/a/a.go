@@ -1,0 +1,133 @@
+// Package a exercises the goroleak analyzer (rule C1): goroutines
+// with no cancellation path and unbuffered sends with no receiver
+// fire; loops with an escape, select-wrapped sends, buffered and
+// escaping channels stay quiet.
+package a
+
+func tick()              {}
+func bad() bool          { return false }
+func compute() int       { return 0 }
+func consume(<-chan int) {}
+
+// spin: an infinite loop with no way out.
+func spin(done chan struct{}) {
+	go func() {
+		for { // want "goroutine loops forever with no return, break, or goto"
+			tick()
+		}
+	}()
+	close(done)
+}
+
+// forever is started as a named-function goroutine: the call graph
+// resolves it and the loop inside fires.
+func forever() {
+	for { // want "goroutine loops forever"
+		tick()
+	}
+}
+
+func startForever() {
+	go forever()
+}
+
+// cancellable loops escape via the return in the done branch: quiet.
+func cancellable(done <-chan struct{}, in <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// breaker escapes via break: quiet.
+func breaker() {
+	go func() {
+		for {
+			if bad() {
+				break
+			}
+			tick()
+		}
+	}()
+}
+
+// panicker escapes via panic: quiet (crash beats leak).
+func panicker() {
+	go func() {
+		for {
+			if bad() {
+				panic("corrupt state")
+			}
+			tick()
+		}
+	}()
+}
+
+// leakySend: nothing ever receives from ch, so the goroutine blocks
+// on the send forever.
+func leakySend() {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want "send on unbuffered channel ch"
+	}()
+}
+
+// receivedSend: the function receives the value — quiet.
+func receivedSend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// rangedSend: the function drains the channel with range — quiet.
+func rangedSend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// selectSend: the send sits in a select with a cancellation branch —
+// quiet even though this function never receives.
+func selectSend(done <-chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-done:
+			return
+		}
+	}()
+}
+
+// bufferedSend: a buffered channel absorbs the send — quiet.
+func bufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+}
+
+// escapingSend: ch is handed to another function, which may receive —
+// quiet (the pass only reasons about channels it fully sees).
+func escapingSend() {
+	ch := make(chan int)
+	consume(ch)
+	go func() {
+		ch <- compute()
+	}()
+}

@@ -1,0 +1,408 @@
+// Package hotpathalloc flags allocation-shaped operations in
+// per-iteration position inside functions reachable from a //perf:hot
+// root. This is performance rule P1 (CONTRIBUTING.md): the sweep's hot
+// loops (simulator event loop, scheduler refresh, cost-cache lookups)
+// were de-allocated by hand in PR 5, and this pass keeps them that way
+// at compile time instead of after-the-fact profiling.
+//
+// The pass builds the package call graph (analysis.BuildCallGraph),
+// computes everything statically reachable from the annotated roots
+// (analysis.HotRoots), and inside those functions flags, only at loop
+// depth >= 1:
+//
+//   - map allocations (make(map), map literals)
+//   - make of slices and channels
+//   - composite literals that allocate (slice/map literals, &T{...})
+//   - fmt string building (Sprintf/Sprint/Sprintln/Errorf) and
+//     non-constant string concatenation
+//   - append growing a slice the function starts at zero capacity
+//   - interface boxing: a concrete non-pointer argument passed to an
+//     interface parameter
+//
+// Two structural exemptions keep the signal honest: allocations inside
+// a return statement run at most once per call (returning out of the
+// loop), and composite literals passed directly to append are the
+// visible collection-build idiom the zero-capacity rule already
+// covers. Function literals reset the loop depth — a closure's body
+// runs when called, not where it is written.
+//
+// Stray //perf:hot comments (not attached to any function declaration)
+// are reported: an annotation that anchors nothing checks nothing.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags per-iteration allocations in functions reachable from //perf:hot roots",
+	Run:  run,
+}
+
+// sprintFuncs are the fmt functions that build a fresh string (or
+// error) per call.
+var sprintFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	hots := analysis.HotRoots(pass.Fset, pass.Files)
+	for _, pos := range hots.Strays {
+		pass.Reportf(pos, "stray //perf:hot does not attach to a function declaration — move it onto the func's doc comment (rule P1)")
+	}
+	if len(hots.Roots) == 0 {
+		return nil, nil
+	}
+
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	roots := make(map[*ast.FuncDecl]bool, len(hots.Roots))
+	for fn := range hots.Roots {
+		roots[fn] = true
+	}
+	reach := cg.Reachable(roots)
+
+	var hot []*ast.FuncDecl
+	for fn := range reach {
+		hot = append(hot, fn)
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Pos() < hot[j].Pos() })
+
+	for _, fn := range hot {
+		if fn.Body == nil {
+			continue
+		}
+		checkFunc(pass, fn, reach[fn].Name.Name)
+	}
+	return nil, nil
+}
+
+// checkFunc walks one hot function flagging per-iteration allocations.
+// root is the //perf:hot root that makes fn hot, named in diagnostics
+// so the reader knows which path the allocation sits on.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, root string) {
+	zero := zeroCapSlices(pass, fn.Body)
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if loopDepth(stack) == 0 {
+			return true
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, e, stack, zero, root)
+		case *ast.CompositeLit:
+			checkLit(pass, e, stack, root)
+		case *ast.BinaryExpr:
+			checkConcat(pass, e, root)
+		}
+		return true
+	})
+}
+
+// loopDepth counts the for/range statements between the top of the
+// stack and the nearest enclosing function literal (a closure body
+// runs when called, not where it is written). Nodes inside a return
+// statement count as depth 0: a return exits the loop, so anything it
+// allocates happens at most once per call.
+func loopDepth(stack []ast.Node) int {
+	depth := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return depth
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.ReturnStmt:
+			return 0
+		}
+	}
+	return depth
+}
+
+// zeroCapSlices collects the local slice variables body starts with no
+// capacity: `var s []T`, `s := []T{}`, and `s := make([]T, 0)`.
+// Growing one of these inside a hot loop reallocates log(n) times;
+// the fix is a preallocated cap.
+func zeroCapSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	zero := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				zero[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, okSpec := spec.(*ast.ValueSpec)
+				if !okSpec || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				id, okID := st.Lhs[i].(*ast.Ident)
+				if !okID {
+					continue
+				}
+				if isZeroCapValue(pass, rhs) {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return zero
+}
+
+// isZeroCapValue reports whether e is an empty slice literal or a
+// make([]T, 0) with no capacity argument.
+func isZeroCapValue(pass *analysis.Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		_, isSlice := pass.TypeOf(v).Underlying().(*types.Slice)
+		return isSlice && len(v.Elts) == 0
+	case *ast.CallExpr:
+		pkg, name, ok := analysis.CalleeName(pass.TypesInfo, v)
+		if !ok || pkg != "" || name != "make" || len(v.Args) != 2 {
+			return false
+		}
+		if _, isSlice := pass.TypeOf(v).Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		tv, okTV := pass.TypesInfo.Types[v.Args[1]]
+		return okTV && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// checkCall flags allocation-shaped calls: make, fmt string builders,
+// zero-capacity append growth, and interface boxing at the call site.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, zero map[types.Object]bool, root string) {
+	pkg, name, ok := analysis.CalleeName(pass.TypesInfo, call)
+	if ok {
+		switch {
+		case pkg == "" && name == "make":
+			checkMake(pass, call, root)
+			return
+		case pkg == "fmt" && sprintFuncs[name]:
+			pass.Reportf(call.Pos(), "fmt.%s builds a string every iteration on the hot path from //perf:hot root %s — hoist it or drop the formatting (rule P1)", name, root)
+			return
+		case pkg == "fmt":
+			// Other fmt calls (printing) are I/O, not a boxing finding.
+			return
+		case pkg == "" && name == "append":
+			checkAppend(pass, call, zero, root)
+			return
+		}
+	}
+	checkBoxing(pass, call, root)
+}
+
+// checkMake reports in-loop make calls by the shape they allocate.
+func checkMake(pass *analysis.Pass, call *ast.CallExpr, root string) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(call.Pos(), "make allocates a map every iteration on the hot path from //perf:hot root %s — hoist it and clear between iterations (rule P1)", root)
+	case *types.Slice:
+		pass.Reportf(call.Pos(), "make allocates a slice every iteration on the hot path from //perf:hot root %s — hoist it or reuse scratch (rule P1)", root)
+	case *types.Chan:
+		pass.Reportf(call.Pos(), "make allocates a channel every iteration on the hot path from //perf:hot root %s (rule P1)", root)
+	}
+}
+
+// checkAppend flags append growing a slice that starts at zero
+// capacity: each growth reallocates and copies. Appends into
+// preallocated locals, struct fields, or expressions the function does
+// not own stay quiet.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, zero map[types.Object]bool, root string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := pass.TypesInfo.ObjectOf(id); obj != nil && zero[obj] {
+		pass.Reportf(call.Pos(), "append grows %s from zero capacity in a loop on the hot path from //perf:hot root %s — preallocate with make(cap) (rule P1)", id.Name, root)
+	}
+}
+
+// checkBoxing flags concrete values converted to interface parameters
+// per iteration: the conversion heap-allocates for anything bigger
+// than a pointer. Pointer and interface arguments store directly and
+// stay quiet, as do untyped nils.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, root string) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin, conversion, or unresolved
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			sl, okSl := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !okSl {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, okTV := pass.TypesInfo.Types[arg]
+		if !okTV || tv.Value != nil {
+			continue // constants: the compiler builds the interface word once
+		}
+		at := tv.Type
+		if at == nil {
+			continue
+		}
+		if b, isBasic := at.(*types.Basic); isBasic && b.Info()&types.IsUntyped != 0 {
+			continue // untyped nil: no boxing
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+			continue // pointer-shaped: stored in the interface word directly
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a %s into an interface every iteration on the hot path from //perf:hot root %s (rule P1)", at.String(), root)
+	}
+}
+
+// checkLit flags composite literals that allocate per iteration:
+// slice and map literals always, struct literals only when
+// address-taken (&T{} escapes to the heap; a plain T{} is a stack
+// value). Literals nested in an already-considered outer literal are
+// skipped — one report per allocation site — and literals passed
+// directly to append are the collection-build idiom checkAppend
+// already polices.
+func checkLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node, root string) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if nestedInLit(stack) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		if isAppendArg(pass, stack, lit) {
+			return
+		}
+		pass.Reportf(lit.Pos(), "slice literal allocates every iteration on the hot path from //perf:hot root %s (rule P1)", root)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates every iteration on the hot path from //perf:hot root %s (rule P1)", root)
+	default:
+		// A struct/array literal allocates only when its address is
+		// taken.
+		if len(stack) < 2 {
+			return
+		}
+		un, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		if isAppendArg(pass, stack[:len(stack)-1], un) {
+			return
+		}
+		pass.Reportf(un.Pos(), "&%s literal escapes to the heap every iteration on the hot path from //perf:hot root %s (rule P1)", types.TypeString(t, types.RelativeTo(pass.Pkg)), root)
+	}
+}
+
+// nestedInLit reports whether the node on top of the stack sits inside
+// another composite literal within the same function literal scope.
+func nestedInLit(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			return true
+		}
+	}
+	return false
+}
+
+// isAppendArg reports whether e (top of stack) is a direct argument of
+// an append call.
+func isAppendArg(pass *analysis.Pass, stack []ast.Node, e ast.Expr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, okc := analysis.CalleeName(pass.TypesInfo, call)
+	if !okc || pkg != "" || name != "append" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == e {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConcat flags non-constant string concatenation in a loop: each
+// + allocates a fresh string.
+func checkConcat(pass *analysis.Pass, e *ast.BinaryExpr, root string) {
+	if e.Op != token.ADD {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return // constants fold at compile time
+	}
+	if b, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsString == 0 {
+		return
+	}
+	// Only report the outermost + of a chain: a+b+c is one build site.
+	if inner, isBin := ast.Unparen(e.X).(*ast.BinaryExpr); isBin && inner.Op == token.ADD {
+		if itv, okI := pass.TypesInfo.Types[inner]; okI && itv.Value == nil {
+			if ib, isB := itv.Type.Underlying().(*types.Basic); isB && ib.Info()&types.IsString != 0 {
+				return
+			}
+		}
+	}
+	pass.Reportf(e.Pos(), "string concatenation allocates every iteration on the hot path from //perf:hot root %s — use a strings.Builder hoisted out of the loop (rule P1)", root)
+}

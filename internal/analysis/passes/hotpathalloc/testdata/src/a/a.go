@@ -1,0 +1,156 @@
+// Package a exercises the hotpathalloc analyzer (rule P1): every
+// allocation class fires inside loops of //perf:hot-reachable
+// functions, and the structural exemptions (return statements,
+// append arguments, closures, cold functions) stay quiet.
+package a
+
+import "fmt"
+
+type item struct {
+	id   int
+	name string
+}
+
+type sink struct {
+	out   []item
+	index map[int]string
+}
+
+func box(v interface{})      {}
+func vbox(vs ...interface{}) {}
+
+// hotLoop is a hot root: allocation-shaped operations in its loop fire.
+//
+//perf:hot
+func hotLoop(items []item, s *sink) {
+	for _, it := range items {
+		m := make(map[int]bool)           // want "allocates a map every iteration"
+		buf := make([]byte, 0, 8)         // want "allocates a slice every iteration"
+		_ = fmt.Sprintf("item %d", it.id) // want "fmt.Sprintf builds a string every iteration"
+		_ = it.name + "!"                 // want "string concatenation allocates every iteration"
+		_ = m
+		_ = buf
+	}
+	done := make(chan struct{}) // quiet: loop depth 0
+	_ = done
+}
+
+// build contrasts preallocated and field appends (quiet) with growing
+// a zero-capacity local (flagged).
+//
+//perf:hot
+func build(items []item, s *sink) []item {
+	out := make([]item, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)     // quiet: preallocated capacity
+		s.out = append(s.out, it) // quiet: field-owned slice
+	}
+	var bad []item
+	for _, it := range items {
+		bad = append(bad, it) // want "append grows bad from zero capacity"
+	}
+	return append(out, bad...)
+}
+
+// lits covers composite literals: heap-shaped ones fire, the
+// append-argument idiom and plain value literals stay quiet.
+//
+//perf:hot
+func lits(items []item, s *sink) {
+	ptrs := make([]*item, 0, len(items))
+	for i := range items {
+		ptrs = append(ptrs, &item{id: i}) // quiet: direct append argument
+		p := &item{id: i}                 // want "&item literal escapes to the heap"
+		_ = p
+		pair := []int{i, i + 1} // want "slice literal allocates every iteration"
+		_ = pair
+		v := item{id: i} // quiet: value literal stays on the stack
+		_ = v
+		s.index = map[int]string{} // want "map literal allocates every iteration"
+	}
+}
+
+// boxing covers interface conversion at call sites: concrete values
+// fire, pointer-shaped and constant arguments stay quiet.
+//
+//perf:hot
+func boxing(items []item) {
+	for i := range items {
+		box(items[i])     // want "boxes a a.item into an interface"
+		vbox(items[i].id) // want "boxes a int into an interface"
+		box(&items[i])    // quiet: pointers store in the interface word
+		var err error
+		box(err) // quiet: already an interface
+		box(3)   // quiet: constant, built once at compile time
+	}
+}
+
+// helper is not annotated, but viaHelper's annotation reaches it
+// through the call graph — the diagnostic names the root.
+func helper(items []item) map[int]int {
+	counts := map[int]int{}
+	for _, it := range items {
+		key := fmt.Sprintf("k%d", it.id) // want "hot path from //perf:hot root viaHelper"
+		_ = key
+		counts[it.id]++
+	}
+	return counts
+}
+
+//perf:hot — transitive reachability through the call graph
+func viaHelper(items []item) {
+	_ = helper(items)
+}
+
+// retExempt: an allocation inside a return statement runs at most once
+// per call — it exits the loop.
+//
+//perf:hot
+func retExempt(items []item) error {
+	for _, it := range items {
+		if it.id < 0 {
+			return fmt.Errorf("bad id %d", it.id) // quiet: return exits the loop
+		}
+	}
+	return nil
+}
+
+// closureReset: a function literal's body runs when called, not where
+// it is written, so loop depth resets inside it.
+//
+//perf:hot
+func closureReset(items []item) func() string {
+	var f func() string
+	for _, it := range items {
+		it := it
+		f = func() string {
+			s := fmt.Sprint(it.id) // quiet: closure body is depth 0
+			return s
+		}
+	}
+	return f
+}
+
+// allowed demonstrates the //lint:allow contract on a P1 finding.
+//
+//perf:hot
+func allowed(items []item) {
+	for _, it := range items {
+		_ = fmt.Sprint(it.id) //lint:allow hotpathalloc -- trace labels are the product of this loop
+	}
+}
+
+// cold has the same patterns but is reachable from no //perf:hot root:
+// everything stays quiet.
+func cold(items []item) {
+	for _, it := range items {
+		m := make(map[int]bool)
+		_ = fmt.Sprintf("%d", it.id)
+		_ = m
+	}
+}
+
+var anchorA = 0
+
+//perf:hot this one attaches to nothing // want "stray //perf:hot does not attach"
+var anchorB = 0

@@ -1,0 +1,311 @@
+// Package lockorder checks mutex discipline inside one package. This
+// is concurrency rule C2 (CONTRIBUTING.md). Three shapes are reported:
+//
+//   - a lock-order cycle: function F acquires A then B while holding
+//     A, and somewhere in the package the reverse order occurs — two
+//     goroutines running those paths concurrently can deadlock. The
+//     pass builds a package-wide acquisition graph and reports every
+//     edge on a cycle.
+//
+//   - Lock/RLock with no matching release: no later Unlock/RUnlock on
+//     the same lock and no deferred one anywhere in the function.
+//
+//   - re-acquiring a lock already held in the same function (a
+//     sync.Mutex self-deadlocks; two RLocks stay quiet — that is
+//     legal, if inadvisable).
+//
+// Locks are identified structurally, so the graph aggregates across
+// functions: a field selector keys as "Type.field" (c.mu and d.mu key
+// the same when c and d share a type — lock ordering is a per-type
+// convention), a package-level mutex keys by name, an embedded mutex
+// by the embedding type. The analysis is flow-insensitive within a
+// function: events are walked in source order, so a release in an
+// early-return branch still counts as the pairing release. That makes
+// the pass an under-approximation — it misses paths, it does not
+// invent them.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mcmnpu/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flags lock-order cycles, unreleased locks, and re-acquired held locks",
+	Run:  run,
+}
+
+const (
+	opLock = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+var lockOps = map[string]int{
+	"Lock": opLock, "RLock": opRLock, "Unlock": opUnlock, "RUnlock": opRUnlock,
+}
+
+// event is one lock operation in a function, in source order.
+type event struct {
+	key      string
+	op       int
+	pos      token.Pos
+	deferred bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// edges[a][b] = first position where b was acquired while a was
+	// held, package-wide.
+	edges := make(map[string]map[string]token.Pos)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			events := collectEvents(pass, fn)
+			checkPairing(pass, events)
+			recordEdges(pass, events, edges)
+		}
+	}
+
+	reportCycles(pass, edges)
+	return nil, nil
+}
+
+// collectEvents walks fn's body in source order gathering sync.Mutex /
+// sync.RWMutex operations. Function literals are included: a closure's
+// lock use happens under the same conventions as its host.
+func collectEvents(pass *analysis.Pass, fn *ast.FuncDecl) []event {
+	var events []event
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !okSel {
+			return true
+		}
+		op, isLockOp := lockOps[sel.Sel.Name]
+		if !isLockOp {
+			return true
+		}
+		obj, okFn := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+		if !okFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+			return true
+		}
+		key := lockKey(pass, sel.X)
+		if key == "" {
+			return true
+		}
+		deferred := false
+		if len(stack) >= 2 {
+			_, deferred = stack[len(stack)-2].(*ast.DeferStmt)
+		}
+		events = append(events, event{key: key, op: op, pos: call.Pos(), deferred: deferred})
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// lockKey names the lock a receiver expression denotes. Field
+// selectors key by declaring type and field name, package-level
+// mutexes by variable name, embedded mutexes by the embedding type,
+// locals by name and declaration line. Empty means unkeyable (skip).
+func lockKey(pass *analysis.Pass, x ast.Expr) string {
+	x = ast.Unparen(x)
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		// Qualified package variable: pkg.Mu.
+		if id, isIdent := sel.X.(*ast.Ident); isIdent {
+			if pn, isPkg := pass.TypesInfo.ObjectOf(id).(*types.PkgName); isPkg {
+				return pn.Name() + "." + sel.Sel.Name
+			}
+		}
+		if tn := namedName(pass.TypeOf(sel.X)); tn != "" {
+			return tn + "." + sel.Sel.Name
+		}
+		return "?." + sel.Sel.Name
+	}
+	// An embedded mutex locked through its host value: key by the
+	// host's named type.
+	if tn := namedName(pass.TypeOf(x)); tn != "" && tn != "Mutex" && tn != "RWMutex" {
+		return tn
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return id.Name
+		}
+		if obj.Parent() == pass.Pkg.Scope() {
+			return id.Name
+		}
+		// A local mutex: scope the key to its declaration so two
+		// locals in different functions never alias in the graph.
+		return fmt.Sprintf("%s@%d", id.Name, pass.Fset.Position(obj.Pos()).Line)
+	}
+	return ""
+}
+
+// namedName returns the name of t's named type after pointer
+// indirection, or "".
+func namedName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkPairing reports acquisitions with no release: a non-deferred
+// Lock/RLock must be followed by a matching Unlock/RUnlock later in
+// the function, or have a deferred release registered anywhere in it.
+func checkPairing(pass *analysis.Pass, events []event) {
+	release := func(op int) int {
+		if op == opLock {
+			return opUnlock
+		}
+		return opRUnlock
+	}
+	for i, e := range events {
+		if e.deferred || (e.op != opLock && e.op != opRLock) {
+			continue
+		}
+		want := release(e.op)
+		paired := false
+		for j, r := range events {
+			if r.key != e.key || r.op != want {
+				continue
+			}
+			if r.deferred || j > i {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			verb := "Unlock"
+			if want == opRUnlock {
+				verb = "RUnlock"
+			}
+			pass.Reportf(e.pos, "%s is locked but never released — no later %s and no deferred one in this function (rule C2)", e.key, verb)
+		}
+	}
+}
+
+// recordEdges simulates the held-lock set through the function's
+// events in source order, recording an edge A -> B whenever B is
+// acquired while A is held, and reporting same-key re-acquisition
+// (self-deadlock for anything but a double RLock).
+func recordEdges(pass *analysis.Pass, events []event, edges map[string]map[string]token.Pos) {
+	type held struct {
+		key string
+		op  int
+	}
+	var hs []held
+	for _, e := range events {
+		switch e.op {
+		case opLock, opRLock:
+			if e.deferred {
+				continue
+			}
+			for _, h := range hs {
+				if h.key == e.key {
+					if h.op == opRLock && e.op == opRLock {
+						continue // double RLock: legal
+					}
+					pass.Reportf(e.pos, "%s is acquired while already held in this function — sync mutexes are not reentrant, this self-deadlocks (rule C2)", e.key)
+					continue
+				}
+				if edges[h.key] == nil {
+					edges[h.key] = make(map[string]token.Pos)
+				}
+				if _, seen := edges[h.key][e.key]; !seen {
+					edges[h.key][e.key] = e.pos
+				}
+			}
+			hs = append(hs, held{key: e.key, op: e.op})
+		case opUnlock, opRUnlock:
+			if e.deferred {
+				continue
+			}
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i].key == e.key {
+					hs = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// reportCycles finds acquisition-order cycles in the package-wide
+// graph and reports every edge that participates in one, at the
+// position the edge was first recorded.
+func reportCycles(pass *analysis.Pass, edges map[string]map[string]token.Pos) {
+	var froms []string
+	for from := range edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+
+	for _, from := range froms {
+		var tos []string
+		for to := range edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if reaches(edges, to, from) {
+				pass.Reportf(edges[from][to],
+					"%s is acquired while holding %s, but elsewhere the package acquires them in the reverse order — lock-order cycle risks deadlock (rule C2)",
+					to, from)
+			}
+		}
+	}
+}
+
+// reaches reports whether dst is reachable from src in the edge graph.
+func reaches(edges map[string]map[string]token.Pos, src, dst string) bool {
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			return true
+		}
+		var next []string
+		for to := range edges[cur] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package a exercises the lockorder analyzer (rule C2): lock-order
+// cycles, unreleased locks, and re-acquired held locks fire; paired,
+// deferred, consistently-ordered, and double-RLock uses stay quiet.
+package a
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+type index struct {
+	mu sync.RWMutex
+}
+
+var amu sync.Mutex
+var bmu sync.Mutex
+
+// ab and ba acquire the two package mutexes in opposite orders — the
+// classic deadlock cycle. Both edges are reported.
+func ab() {
+	amu.Lock()
+	bmu.Lock() // want "bmu is acquired while holding amu"
+	bmu.Unlock()
+	amu.Unlock()
+}
+
+func ba() {
+	bmu.Lock()
+	amu.Lock() // want "amu is acquired while holding bmu"
+	amu.Unlock()
+	bmu.Unlock()
+}
+
+// leaky never releases: flagged.
+func leaky(s *store) {
+	s.mu.Lock() // want "store.mu is locked but never released"
+	s.data["x"] = 1
+}
+
+// wrongRelease pairs an RLock with a write Unlock — the RLock has no
+// matching RUnlock: flagged.
+func wrongRelease(ix *index) {
+	ix.mu.RLock() // want "index.mu is locked but never released"
+	ix.mu.Unlock()
+}
+
+// reacquire self-deadlocks: sync mutexes are not reentrant.
+func reacquire(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want "store.mu is acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// deferred release: quiet.
+func deferred(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data["x"]
+}
+
+// paired in-line release: quiet.
+func paired(ix *index) int {
+	ix.mu.RLock()
+	n := 1
+	ix.mu.RUnlock()
+	return n
+}
+
+// consistent nesting order with no reverse anywhere: quiet.
+func consistent(s *store, ix *index) {
+	s.mu.Lock()
+	ix.mu.RLock()
+	ix.mu.RUnlock()
+	s.mu.Unlock()
+}
+
+// doubleRead: two RLocks on the same RWMutex are legal: quiet.
+func doubleRead(ix *index) {
+	ix.mu.RLock()
+	ix.mu.RLock()
+	ix.mu.RUnlock()
+	ix.mu.RUnlock()
+}
+
+// guarded embeds its mutex; the lock keys by the embedding type.
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+func embedded(g *guarded) {
+	g.Lock()
+	g.n++
+	g.Unlock()
+}
+
+// localPaired: a function-local mutex, properly paired: quiet.
+func localPaired() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

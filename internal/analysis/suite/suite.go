@@ -1,5 +1,6 @@
 // Package suite registers the detlint analyzer set: the five domain
-// determinism analyzers plus the curated vetted standard checks
+// determinism analyzers (rules D1–D5), the perf/concurrency family
+// (rules P1 and C1–C3), and the curated vetted standard checks
 // bundled with them. cmd/detlint and the analyzer integration tests
 // consume this list; keep it sorted by name so every consumer runs and
 // prints analyzers in the same order.
@@ -9,6 +10,10 @@ import (
 	"mcmnpu/internal/analysis"
 	"mcmnpu/internal/analysis/passes/atomicmix"
 	"mcmnpu/internal/analysis/passes/copylocks"
+	"mcmnpu/internal/analysis/passes/ctxflow"
+	"mcmnpu/internal/analysis/passes/goroleak"
+	"mcmnpu/internal/analysis/passes/hotpathalloc"
+	"mcmnpu/internal/analysis/passes/lockorder"
 	"mcmnpu/internal/analysis/passes/mapiterorder"
 	"mcmnpu/internal/analysis/passes/orderedreduce"
 	"mcmnpu/internal/analysis/passes/pooldiscipline"
@@ -20,6 +25,10 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicmix.Analyzer,
 		copylocks.Analyzer,
+		ctxflow.Analyzer,
+		goroleak.Analyzer,
+		hotpathalloc.Analyzer,
+		lockorder.Analyzer,
 		mapiterorder.Analyzer,
 		orderedreduce.Analyzer,
 		pooldiscipline.Analyzer,

@@ -131,6 +131,8 @@ func (c *Cache) Stats() CacheStats {
 // LayerOn is the memoized counterpart of the package-level LayerOn.
 // The returned cost's Layer field always points at l (cache entries are
 // stored ID-keyed, not pointer-keyed).
+//
+//perf:hot — the memoized lookup every costing call funnels through
 func (c *Cache) LayerOn(l *dnn.Layer, a *Accel) LayerCost {
 	if c == nil {
 		return LayerOn(l, a)
@@ -167,6 +169,8 @@ func (c *Cache) cost(lid, aid uint32, l *dnn.Layer, a *Accel) LayerCost {
 // signature, n) — the returned cost's Layer field points at that
 // canonical shard instance — so every candidate that shards a layer
 // the same way shares one derivation and one evaluation.
+//
+//perf:hot — the sharded costing lookup on the scheduler's inner loop
 func (c *Cache) ShardedLayerOn(l *dnn.Layer, n int64, a *Accel) (LayerCost, error) {
 	if c == nil {
 		return ShardedLayerOn(l, n, a)

@@ -178,7 +178,7 @@ func (s Space) Candidates() []Candidate {
 	if len(s.LinkBWGBs) == 0 {
 		s.LinkBWGBs = d.LinkBWGBs
 	}
-	var out []Candidate
+	out := make([]Candidate, 0, len(s.Meshes)*len(s.Dataflows)*len(s.LinkBWGBs))
 	seen := map[Candidate]bool{}
 	for _, m := range s.Meshes {
 		for _, df := range s.Dataflows {
@@ -271,6 +271,8 @@ type Report struct {
 // already-realized frontier point, so its realized point, which is
 // componentwise no better, would be too) or runs the full streaming
 // evaluation and offers the realized point to the frontier.
+//
+//perf:hot — evaluates the whole candidate x scenario product; both phases loop at scale
 func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
 	if len(opts.Scenarios) == 0 {
 		return Report{}, fmt.Errorf("pareto: no scenarios selected")

@@ -80,6 +80,8 @@ type Result struct {
 
 // Run compiles the spec, builds its schedule once, and streams the frame
 // budget through the simulator in trace windows.
+//
+//perf:hot — streams every frame window; per-window state is reused, not reallocated
 func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
 	b, err := sp.Compile()
 	if err != nil {

@@ -62,6 +62,8 @@ type Schedule struct {
 // Build runs Algorithm 1: quadrant allocation, initial per-layer
 // placement, then nested greedy throughput matching with recursive
 // sharding and surplus-chiplet reallocation.
+//
+//perf:hot — runs once per sweep candidate; its improvement loops dominate sweep time
 func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, error) {
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 256
@@ -134,9 +136,10 @@ func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, erro
 // shortens the stage critical path (Fig 6 shards the spatial FFN from
 // 4-fold to 8-fold this way).
 func (s *Schedule) useIdleChiplets() {
+	skip := make(map[*Unit]bool)
 	for i := range s.Pipeline.Stages {
 		ss := s.Stages[i]
-		skip := make(map[*Unit]bool)
+		clear(skip)
 		for guard := 0; guard < 4*len(ss.Pool); guard++ {
 			if len(ss.idleCoords()) == 0 {
 				break
@@ -163,6 +166,7 @@ func (s *Schedule) useIdleChiplets() {
 				skip[u] = true
 				continue
 			}
+			//lint:allow hotpathalloc -- one trace row per accepted sharding step, retained in Steps: the label is the product
 			s.record(fmt.Sprintf("idle-shard %s", u.Label()), ss.Name)
 		}
 	}
@@ -219,7 +223,11 @@ func allocatePools(m *chiplet.MCM, nStages int) ([][]nop.Coord, error) {
 	// they stay unassigned; borrowChiplet finds them through the spare
 	// list.
 	if parts > nStages {
-		var spare []nop.Coord
+		total := 0
+		for i := nStages; i < parts; i++ {
+			total += len(split[i])
+		}
+		spare := make([]nop.Coord, 0, total)
 		for i := nStages; i < parts; i++ {
 			spare = append(spare, split[i]...)
 		}
@@ -283,6 +291,7 @@ func (s *Schedule) relieve(ss *StageSchedule, skip map[*Unit]bool) bool {
 			// until its twin splits too).
 			if ss.PipeLatMs <= before+1e-9 &&
 				(ss.PipeLatMs < before-1e-9 || unitAfter < beforeUnit-1e-9) {
+				//lint:allow hotpathalloc -- runs once per accepted improvement just before returning; the label lands in Steps
 				s.record(fmt.Sprintf("shard %s", u.Label()), ss.Name)
 				return true
 			}
@@ -337,7 +346,7 @@ func (s *Schedule) improveBase(skip map[*Unit]bool) bool {
 		return false
 	}
 	// Splitting every FE replica needs one extra chiplet per replica.
-	var splittable []*Unit
+	splittable := make([]*Unit, 0, len(base.Units))
 	for _, u := range base.Units {
 		if u.canSegment() && !skip[u] {
 			splittable = append(splittable, u)

@@ -97,6 +97,7 @@ func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.
 		for _, n := range g.Nodes() {
 			significant := n.Layer.Kind.ComputeBound()
 			if cur == nil || significant {
+				//lint:allow hotpathalloc -- each Unit is built once at schedule construction and retained for its lifetime; the allocation is the product
 				cur = &Unit{StageIdx: idx, Model: g.Name, Nodes: []*dnn.Node{n}, Shards: 1}
 				ss.Units = append(ss.Units, cur)
 			} else {
@@ -115,6 +116,8 @@ func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.
 
 // refresh re-evaluates unit costs, re-places units onto the pool (LPT),
 // and recomputes the stage metrics.
+//
+//perf:hot — called per improvement iteration per stage; uses stageScratch, not fresh slices
 func (ss *StageSchedule) refresh() error {
 	if len(ss.Pool) == 0 {
 		return fmt.Errorf("sched: stage %s has an empty chiplet pool", ss.Name)
@@ -181,6 +184,7 @@ func (ss *StageSchedule) place() {
 			n = len(ss.Pool)
 		}
 		idxs := ss.leastLoaded(loads, n)
+		//lint:allow hotpathalloc -- coords escapes as u.Chiplets, the placement's per-unit output; reusing scratch here would alias every unit's slice
 		coords := make([]nop.Coord, len(idxs))
 		for i, ix := range idxs {
 			coords[i] = ss.Pool[ix]

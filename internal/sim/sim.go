@@ -316,6 +316,8 @@ func (sc *runScratch) grab(n, m int) {
 
 // Run streams `frames` frame sets (arriving per the trace generator)
 // through the compiled schedule and returns realized metrics.
+//
+//perf:hot — the per-event simulator loop; PR 5 de-allocated it and rule P1 keeps it that way
 func (g *Graph) Run(frames int, gen *trace.Generator) (Result, error) {
 	if frames <= 0 {
 		return Result{}, fmt.Errorf("sim: non-positive frame count %d", frames)

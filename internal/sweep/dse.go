@@ -29,6 +29,8 @@ func (e *Engine) Explore(ctx context.Context, trunks []*dnn.Graph, chiplets, wsC
 // the scanners merge afterwards. The fold rule is a total order, so
 // the merged best is the serial scan's best regardless of worker count
 // or which worker saw which index.
+//
+//perf:hot — the candidate-mask fold; the ROADMAP's parallel-scaling work starts here
 func (e *Engine) ExploreSpace(ctx context.Context, space *dse.Space, wsCount int) (dse.Result, error) {
 	candidates := space.Candidates(wsCount)
 

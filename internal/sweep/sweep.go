@@ -50,6 +50,8 @@ func (e *Engine) Cache() *costmodel.Cache { return e.cache }
 // context's error, checked before each item) cancels the remaining
 // work; already-running items finish. Each blocks until all workers
 // have returned.
+//
+//perf:hot — the worker-pool dispatch loop every parallel evaluation rides on
 func (e *Engine) Each(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
