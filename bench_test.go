@@ -367,12 +367,12 @@ func BenchmarkSweepGridParallel8(b *testing.B) { benchmarkSweepGrid(b, sweep.New
 
 func benchmarkSweepGrid(b *testing.B, eng *sweep.Engine) {
 	cfg := workloads.DefaultConfig()
-	scenarios := experiments.DefaultGrid(eng)
+	scenarios := experiments.ShardedGrid(eng)
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, r := range eng.RunGrid(ctx, cfg, scenarios) {
+		for _, r := range eng.RunGridSharded(ctx, cfg, scenarios) {
 			if r.Err != nil {
 				b.Fatalf("scenario %s: %v", r.Scenario, r.Err)
 			}
@@ -401,10 +401,39 @@ func BenchmarkFrontierSweep(b *testing.B) {
 	})
 }
 
+// Frontier sweep scaling ladder: both rungs run the sharded
+// FrontierSweepParallel path with a fresh (cold-cache) engine per
+// iteration, so the Serial/Parallel8 ns/op ratio isolates worker
+// scaling rather than cache warmth or code-path differences. The
+// bench-check scaling gate asserts the ratio on multi-core runners.
+func BenchmarkFrontierSweepSerial(b *testing.B)    { benchmarkFrontierSweep(b, 1) }
+func BenchmarkFrontierSweepParallel8(b *testing.B) { benchmarkFrontierSweep(b, 8) }
+
+func benchmarkFrontierSweep(b *testing.B, workers int) {
+	cfg := workloads.DefaultConfig()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(workers) // fresh engine: cold cache each iteration
+		if _, err := experiments.FrontierSweepParallel(ctx, eng, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParetoExplore measures the full multi-objective exploration
 // (lower-bound fan-out, dominance pruning, streamed full runs) over the
 // default candidate space against the urban scenario.
-func BenchmarkParetoExplore(b *testing.B) {
+func BenchmarkParetoExplore(b *testing.B) { benchmarkParetoExplore(b, 0, "pareto-explore") }
+
+// Pareto explorer scaling ladder: same exploration at pinned worker
+// counts, fresh engine per iteration. The Serial/Parallel8 ratio feeds
+// the bench-check scaling gate alongside the grid and frontier ladders.
+func BenchmarkParetoExploreSerial(b *testing.B)    { benchmarkParetoExplore(b, 1, "pareto-serial") }
+func BenchmarkParetoExploreParallel8(b *testing.B) { benchmarkParetoExplore(b, 8, "pareto-par8") }
+
+func benchmarkParetoExplore(b *testing.B, workers int, key string) {
 	sp, err := scenario.Lookup("urban-8cam")
 	if err != nil {
 		b.Fatal(err)
@@ -413,7 +442,7 @@ func BenchmarkParetoExplore(b *testing.B) {
 	var rep pareto.Report
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng := sweep.New(0) // fresh engine: cold cache each iteration
+		eng := sweep.New(workers) // fresh engine: cold cache each iteration
 		rep, err = pareto.Explore(ctx, pareto.Space{}, pareto.Options{
 			Scenarios:    []scenario.Spec{sp},
 			Frames:       8,
@@ -425,7 +454,7 @@ func BenchmarkParetoExplore(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	printTable("pareto-explore", func() {
+	printTable(key, func() {
 		fmt.Printf("pareto: %d candidates, %d evaluated, %d pruned, frontier %d\n\n",
 			len(rep.Evals), rep.Evaluated, rep.Pruned, len(rep.Frontier))
 	})

@@ -26,12 +26,24 @@
 // requires the worker-scaling ladder (BenchmarkSweepGridParallel2/4/8)
 // so a deleted rung cannot silently retire the parallel-scaling gate.
 //
-// Benchmarks whose baseline median is below -floor nanoseconds
-// (default 20 ms) are reported but never fail the gate: at
-// -benchtime=1x a single iteration of a short benchmark swings tens of
-// percent with scheduler and cache luck, so its median is noise, not
-// signal — empirically, same-code reruns drift <5% above the 20 ms
-// floor and up to ~50% below it.
+// A time regression only fails the gate when the absolute growth
+// clears the noise floor max(-floor ns, -relfloor percent of the
+// baseline median): at -benchtime=1x a single iteration swings by
+// scheduler and cache luck, and the old flat 20 ms cutoff exempted
+// every benchmark under 20 ms entirely — a 2x regression on a 15 ms
+// benchmark sailed through. The relative floor scales with the
+// benchmark instead: a 15 ms benchmark doubling to 30 ms fails
+// (15 ms growth >> max(2 ms, 5% of 15 ms)), while a 2 ms benchmark
+// jittering to 2.6 ms stays informational.
+//
+// -scaling enforces parallel-speedup ratios on the current artifact:
+// each comma-separated spec Serial/Parallel>=R requires the current
+// median ns/op ratio between the two named benchmarks to be at least
+// R. A missing rung fails like -require. When the current artifact's
+// GOMAXPROCS for the parallel rung is below ceil(R) the machine
+// cannot express the speedup, so the check is skipped with a loud
+// warning — single-core dev boxes rely on the multi-core CI runner to
+// enforce the gate.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -76,12 +89,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline   = fs.String("baseline", "", "baseline JSON artifact to compare against")
 		current    = fs.String("current", "", "current JSON artifact to compare")
 		threshold  = fs.Float64("threshold", 20, "fail on median regressions above this percent")
-		floor      = fs.Float64("floor", 20e6, "ignore regressions on benchmarks with baseline median below this many ns")
+		floor      = fs.Float64("floor", 2e6, "absolute noise floor: ignore regressions growing by fewer ns than this")
+		relFloor   = fs.Float64("relfloor", 5, "relative noise floor: ignore regressions growing by less than this percent of baseline")
 		allocThr   = fs.Float64("allocthreshold", 30, "flag allocs/op growth above this percent")
 		allocGuard = fs.String("allocguard", "", "comma-separated benchmarks whose allocs/op growth fails the gate")
 		require    = fs.String("require", "", "comma-separated benchmarks that must be present in both artifacts")
+		scaling    = fs.String("scaling", "", "comma-separated parallel-speedup gates Serial/Parallel>=ratio checked on the current artifact")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	scalingSpecs, err := parseScaling(*scaling)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	switch {
@@ -91,9 +111,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCompare(*baseline, *current, compareOpts{
 			threshold:  *threshold,
 			floor:      *floor,
+			relFloor:   *relFloor,
 			allocThr:   *allocThr,
 			allocGuard: guardSet(*allocGuard),
 			require:    nameList(*require),
+			scaling:    scalingSpecs,
 		}, stdout, stderr)
 	default:
 		fs.Usage()
@@ -265,9 +287,98 @@ func loadArtifact(path string) (Artifact, error) {
 	return a, nil
 }
 
+// scalingSpec is one parsed -scaling gate: the current artifact's
+// serial/parallel median ratio must be at least ratio.
+type scalingSpec struct {
+	serial   string
+	parallel string
+	ratio    float64
+}
+
+// parseScaling parses comma-separated Serial/Parallel>=ratio specs.
+// Benchmark names with '/' sub-benchmark paths are not supported — the
+// ladders this gates are flat top-level benchmarks.
+func parseScaling(csv string) ([]scalingSpec, error) {
+	var specs []scalingSpec
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(f, ">=")
+		if !ok {
+			return nil, fmt.Errorf("benchdiff: bad -scaling spec %q: want Serial/Parallel>=ratio", f)
+		}
+		serial, parallel, ok := strings.Cut(lhs, "/")
+		serial, parallel = strings.TrimSpace(serial), strings.TrimSpace(parallel)
+		if !ok || serial == "" || parallel == "" {
+			return nil, fmt.Errorf("benchdiff: bad -scaling spec %q: want Serial/Parallel>=ratio", f)
+		}
+		ratio, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("benchdiff: bad -scaling ratio in %q: want a positive number", f)
+		}
+		specs = append(specs, scalingSpec{serial: serial, parallel: parallel, ratio: ratio})
+	}
+	return specs, nil
+}
+
+// checkScaling enforces the -scaling gates against the current
+// artifact and returns the number of failures. A rung missing from the
+// artifact fails (the gate must stay measured); a parallel rung whose
+// recorded GOMAXPROCS is below ceil(ratio) is skipped with a warning,
+// because that machine class cannot express the required speedup no
+// matter how healthy the code is.
+func checkScaling(cur Artifact, curPath string, specs []scalingSpec, stdout, stderr io.Writer) int {
+	failures := 0
+	for _, sp := range specs {
+		sNs, okS := cur.NsPerOp[sp.serial]
+		pNs, okP := cur.NsPerOp[sp.parallel]
+		if !okS || !okP {
+			if !okS {
+				fmt.Fprintf(stderr, "benchdiff: scaling rung %s missing from %s — the speedup gate must stay measured\n",
+					sp.serial, curPath)
+			}
+			if !okP {
+				fmt.Fprintf(stderr, "benchdiff: scaling rung %s missing from %s — the speedup gate must stay measured\n",
+					sp.parallel, curPath)
+			}
+			failures++
+			continue
+		}
+		need := int(math.Ceil(sp.ratio))
+		if procs := cur.Procs[sp.parallel]; procs != 0 && procs < need {
+			fmt.Fprintf(stderr, "benchdiff: WARNING: scaling gate %s/%s>=%.2g skipped: "+
+				"%s measured at GOMAXPROCS %d, fewer than the %d cores a %.2gx speedup needs — "+
+				"this machine class cannot enforce the gate; the multi-core CI bench lane does\n",
+				sp.serial, sp.parallel, sp.ratio, sp.parallel, procs, need, sp.ratio)
+			continue
+		}
+		got := 0.0
+		if pNs > 0 {
+			got = sNs / pNs
+		}
+		if got < sp.ratio {
+			failures++
+			fmt.Fprintf(stderr, "benchdiff: parallel scaling regressed: %s/%s = %.2fx, gate requires >= %.2gx\n",
+				sp.serial, sp.parallel, got, sp.ratio)
+			continue
+		}
+		fmt.Fprintf(stdout, "scaling ok: %s/%s = %.2fx (gate >= %.2gx)\n",
+			sp.serial, sp.parallel, got, sp.ratio)
+	}
+	return failures
+}
+
 type compareOpts struct {
-	threshold  float64
+	threshold float64
+	// floor and relFloor define the noise floor on absolute median
+	// growth: a regression only fails when current-baseline exceeds
+	// max(floor ns, relFloor% of baseline). The floor scales with the
+	// benchmark so a short benchmark doubling still fails while
+	// single-iteration jitter on a 2 ms benchmark stays informational.
 	floor      float64
+	relFloor   float64
 	allocThr   float64
 	allocGuard map[string]bool
 	// require lists benchmarks that must exist in both artifacts —
@@ -278,6 +389,9 @@ type compareOpts struct {
 	// ROADMAP's parallel-scaling gate would be gone without anyone
 	// noticing.
 	require []string
+	// scaling lists parallel-speedup gates enforced on the current
+	// artifact (see checkScaling).
+	scaling []scalingSpec
 }
 
 func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Writer) int {
@@ -318,7 +432,8 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 	sort.Strings(names)
 
 	t := report.NewTable(
-		fmt.Sprintf("Benchmark medians vs %s (fail > +%.0f%%, floor %.0f µs)", basePath, opts.threshold, opts.floor/1e3),
+		fmt.Sprintf("Benchmark medians vs %s (fail > +%.0f%%, noise floor max(%.0f µs, %.0f%% of base))",
+			basePath, opts.threshold, opts.floor/1e3, opts.relFloor),
 		"Benchmark", "Base(ms)", "Current(ms)", "Delta(%)", "Allocs Δ(%)", "Verdict")
 	regressions := 0
 	for _, name := range names {
@@ -351,7 +466,11 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 			allocCell = fmt.Sprintf("%+.1f", allocGrowth)
 		}
 
-		timeRegressed := b >= opts.floor && delta > opts.threshold
+		noise := opts.floor
+		if rel := b * opts.relFloor / 100; rel > noise {
+			noise = rel
+		}
+		timeRegressed := delta > opts.threshold && c-b > noise
 		allocRegressed := false
 		if allocGrowth > opts.allocThr && bok && cok {
 			if opts.allocGuard[name] {
@@ -371,8 +490,8 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 			verdict = "REGRESSION"
 		case allocRegressed:
 			verdict = "ALLOC REGRESSION"
-		case b < opts.floor:
-			verdict = "below floor (informational)"
+		case delta > opts.threshold:
+			verdict = "within noise floor (informational)"
 		}
 		if timeRegressed || allocRegressed {
 			regressions++
@@ -390,13 +509,17 @@ func runCompare(basePath, curPath string, opts compareOpts, stdout, stderr io.Wr
 		fmt.Fprintf(stderr, "benchdiff: %s is new (not in baseline; add it with `make bench-baseline`)\n", name)
 	}
 	t.Render(stdout)
+	scalingFailures := checkScaling(cur, curPath, opts.scaling, stdout, stderr)
 	if missingRequired > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d required benchmark(s) missing\n", missingRequired)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond the gate\n", regressions)
 	}
-	if regressions > 0 || missingRequired > 0 {
+	if scalingFailures > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d scaling gate(s) failed\n", scalingFailures)
+	}
+	if regressions > 0 || missingRequired > 0 || scalingFailures > 0 {
 		return 1
 	}
 	return 0

@@ -131,20 +131,56 @@ func TestComparePassesWithinThreshold(t *testing.T) {
 	}
 }
 
-// TestCompareFloor: sub-floor benchmarks are timer noise at
-// -benchtime=1x and never fail the gate, however large the delta.
+// TestCompareFloor: growth below the absolute noise floor is timer
+// noise at -benchtime=1x and never fails the gate, however large the
+// relative delta.
 func TestCompareFloor(t *testing.T) {
 	dir := t.TempDir()
 	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
 	writeArtifact(t, base, map[string]float64{"BenchmarkTiny": 5000})
-	writeArtifact(t, cur, map[string]float64{"BenchmarkTiny": 50000}) // 10x, but tiny
+	writeArtifact(t, cur, map[string]float64{"BenchmarkTiny": 50000}) // 10x, but grows only 45 µs
 
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
 		t.Fatalf("sub-floor regression should not fail the lane, got exit %d", code)
 	}
-	if !strings.Contains(stdout.String(), "below floor") {
+	if !strings.Contains(stdout.String(), "within noise floor") {
 		t.Errorf("sub-floor row should be marked informational:\n%s", stdout.String())
+	}
+}
+
+// TestCompareRelativeFloor: the floor is on absolute growth, not
+// baseline magnitude — the old flat 20 ms cutoff exempted every
+// benchmark under 20 ms, so a 2x regression on a 15 ms benchmark
+// passed. Now it fails: 15 ms of growth clears max(2 ms, 5% of 15 ms).
+func TestCompareRelativeFloor(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{"BenchmarkMedium": 15e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkMedium": 30e6}) // 2x on 15 ms
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("2x regression on a 15 ms benchmark must fail the gate, got exit %d\n%s",
+			code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("table should flag the regression:\n%s", stdout.String())
+	}
+
+	// The relative floor scales with the baseline: with a threshold
+	// tighter than -relfloor, a drift clearing the percent threshold and
+	// the absolute floor but not 5%% of a large baseline stays
+	// informational (8 ms growth on 200 ms < max(2 ms, 10 ms)).
+	writeArtifact(t, base, map[string]float64{"BenchmarkBig": 200e6})
+	writeArtifact(t, cur, map[string]float64{"BenchmarkBig": 208e6})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "-current", cur, "-threshold", "3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("drift below the relative floor should pass, got exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "within noise floor") {
+		t.Errorf("sub-relative-floor row should be informational:\n%s", stdout.String())
 	}
 }
 
@@ -301,6 +337,111 @@ func TestCompareRequire(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{"-baseline", base, "-current", cur, "-require", ladder}, &stdout, &stderr); code != 0 {
 		t.Fatalf("full ladder within threshold should exit 0, got %d\n%s", code, stderr.String())
+	}
+}
+
+// TestCompareScaling: the -scaling gate enforces Serial/Parallel
+// speedup ratios on the current artifact.
+func TestCompareScaling(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{
+		"BenchmarkSweepGridSerial":    400e6,
+		"BenchmarkSweepGridParallel8": 90e6,
+	})
+	gate := "BenchmarkSweepGridSerial/BenchmarkSweepGridParallel8>=4"
+
+	// Healthy scaling at sufficient cores passes and reports the ratio.
+	writeFull(t, cur, Artifact{
+		NsPerOp: map[string]float64{
+			"BenchmarkSweepGridSerial":    400e6,
+			"BenchmarkSweepGridParallel8": 90e6, // 4.44x
+		},
+		Samples: map[string]int{"BenchmarkSweepGridSerial": 5, "BenchmarkSweepGridParallel8": 5},
+		Procs:   map[string]int{"BenchmarkSweepGridSerial": 8, "BenchmarkSweepGridParallel8": 8},
+	})
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-current", cur, "-scaling", gate}, &stdout, &stderr); code != 0 {
+		t.Fatalf("4.44x >= 4 should pass, got exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scaling ok") {
+		t.Errorf("stdout should report the measured ratio:\n%s", stdout.String())
+	}
+
+	// A collapsed speedup fails the gate.
+	writeFull(t, cur, Artifact{
+		NsPerOp: map[string]float64{
+			"BenchmarkSweepGridSerial":    400e6,
+			"BenchmarkSweepGridParallel8": 150e6, // 2.67x
+		},
+		Samples: map[string]int{"BenchmarkSweepGridSerial": 5, "BenchmarkSweepGridParallel8": 5},
+		Procs:   map[string]int{"BenchmarkSweepGridSerial": 8, "BenchmarkSweepGridParallel8": 8},
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "-current", cur, "-scaling", gate}, &stdout, &stderr); code != 1 {
+		t.Fatalf("2.67x < 4 should fail, got exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "parallel scaling regressed") {
+		t.Errorf("stderr should name the collapsed gate:\n%s", stderr.String())
+	}
+
+	// A deleted rung fails like -require: the gate must stay measured.
+	writeArtifact(t, cur, map[string]float64{"BenchmarkSweepGridSerial": 400e6})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "-current", cur, "-scaling", gate}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing scaling rung should fail, got exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "scaling rung BenchmarkSweepGridParallel8 missing") {
+		t.Errorf("stderr should name the missing rung:\n%s", stderr.String())
+	}
+}
+
+// TestCompareScalingSkipsLowProcs: a single-core box cannot express a
+// 4x speedup, so the gate skips with a loud warning instead of failing
+// the lane — CI's multi-core runner enforces it.
+func TestCompareScalingSkipsLowProcs(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeArtifact(t, base, map[string]float64{
+		"BenchmarkSweepGridSerial":    400e6,
+		"BenchmarkSweepGridParallel8": 400e6,
+	})
+	writeFull(t, cur, Artifact{
+		NsPerOp: map[string]float64{
+			"BenchmarkSweepGridSerial":    400e6,
+			"BenchmarkSweepGridParallel8": 400e6, // 1x: workers idle on one core
+		},
+		Samples: map[string]int{"BenchmarkSweepGridSerial": 5, "BenchmarkSweepGridParallel8": 5},
+		Procs:   map[string]int{"BenchmarkSweepGridSerial": 1, "BenchmarkSweepGridParallel8": 1},
+	})
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", base, "-current", cur,
+		"-scaling", "BenchmarkSweepGridSerial/BenchmarkSweepGridParallel8>=4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("single-core artifact should skip the gate, got exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "WARNING") || !strings.Contains(stderr.String(), "GOMAXPROCS 1") {
+		t.Errorf("skip should warn loudly about the machine class:\n%s", stderr.String())
+	}
+}
+
+// TestParseScalingRejectsBadSpecs: malformed -scaling specs are usage
+// errors, not silently ignored gates.
+func TestParseScalingRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{"NoRatioHere", "A/B>=x", "A>=4", "A/B>=-2", "/B>=2"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-scaling", bad, "-baseline", "x", "-current", "y"}, &stdout, &stderr); code != 2 {
+			t.Errorf("spec %q should exit 2, got %d", bad, code)
+		}
+	}
+	specs, err := parseScaling("A/B>=4, C/D>=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ratio != 4 || specs[1].serial != "C" || specs[1].parallel != "D" {
+		t.Errorf("parsed specs = %+v", specs)
 	}
 }
 

@@ -16,7 +16,6 @@ import (
 	"strings"
 	"time"
 
-	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/prof"
 	"mcmnpu/internal/report"
@@ -89,14 +88,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	exit := 0
 	if *grid {
-		all := experiments.DefaultGrid(eng)
+		all := experiments.ShardedGrid(eng)
 		selected := filterScenarios(all, *scenarios)
 		if len(selected) == 0 {
 			fmt.Fprintf(stderr, "no scenario matches %q (have: %s)\n",
 				*scenarios, strings.Join(scenarioNames(all), ", "))
 			return 2
 		}
-		results := eng.RunGrid(ctx, cfg, selected)
+		results := eng.RunGridSharded(ctx, cfg, selected)
 		for _, r := range results {
 			if r.Err != nil {
 				fmt.Fprintf(stderr, "scenario %s: %v\n", r.Scenario, r.Err)
@@ -105,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			emit(stdout, r.Table, *jsonOut)
 			if !*jsonOut {
-				fmt.Fprintf(stdout, "(scenario %s: %.1f ms)\n\n", r.Scenario, r.ElapsedMs)
+				fmt.Fprintf(stdout, "(scenario %s: %.1f ms work)\n\n", r.Scenario, r.ElapsedMs)
 			}
 		}
 	}
@@ -113,27 +112,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exit
 }
 
-// printCacheStats reports both caches a run can exercise: the engine's
-// (DSE explorations — -dse and the dse-lcstr scenario) and the
-// experiments package's (the other grid scenario harnesses).
+// printCacheStats reports the engine's layer-cost cache — since the
+// grid went through the sharded path, every evaluation of a run (DSE
+// explorations and all grid scenarios) memoizes there. The experiments
+// package's cache only serves its serial harness API (cmd/figures,
+// goldens), so it no longer appears here.
 func printCacheStats(w io.Writer, eng *sweep.Engine, enabled bool) {
 	if !enabled {
 		return
 	}
-	line := func(name string, s costmodel.CacheStats) {
-		total := s.Hits + s.Misses
-		pct := 0.0
-		if total > 0 {
-			pct = float64(s.Hits) / float64(total) * 100
-		}
-		fmt.Fprintf(w, "%s layer-cost cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
-			name, s.Hits, s.Misses, pct, s.Entries)
+	s := eng.Cache().Stats()
+	total := s.Hits + s.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = float64(s.Hits) / float64(total) * 100
 	}
-	line("engine (dse)", eng.Cache().Stats())
-	line("experiments (grid)", experiments.SharedLayerCache().Stats())
+	fmt.Fprintf(w, "engine layer-cost cache: %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+		s.Hits, s.Misses, pct, s.Entries)
 }
 
-func filterScenarios(all []sweep.Scenario, filter string) []sweep.Scenario {
+func filterScenarios(all []sweep.ShardedScenario, filter string) []sweep.ShardedScenario {
 	if filter == "" {
 		return all
 	}
@@ -141,7 +139,7 @@ func filterScenarios(all []sweep.Scenario, filter string) []sweep.Scenario {
 	for _, f := range strings.Split(filter, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	var out []sweep.Scenario
+	var out []sweep.ShardedScenario
 	for _, s := range all {
 		if want[s.Name] {
 			out = append(out, s)
@@ -150,7 +148,7 @@ func filterScenarios(all []sweep.Scenario, filter string) []sweep.Scenario {
 	return out
 }
 
-func scenarioNames(all []sweep.Scenario) []string {
+func scenarioNames(all []sweep.ShardedScenario) []string {
 	names := make([]string, len(all))
 	for i, s := range all {
 		names[i] = s.Name

@@ -151,6 +151,17 @@ func NewCachedSpace(trunks []*dnn.Graph, chiplets int, lcstrMs float64, c *costm
 	return s
 }
 
+// WithLcstr returns a view of the space under a different latency
+// constraint, sharing the precomputed cost table (the constraint only
+// enters the feasibility check, never the costs). The Lcstr sweep
+// builds its per-point spaces this way instead of re-evaluating every
+// layer per point.
+func (s *Space) WithLcstr(lcstrMs float64) *Space {
+	v := *s
+	v.LcstrMs = lcstrMs
+	return &v
+}
+
 // Candidates returns the WS-subset masks genuinely worth evaluating for
 // a given wsCount. The pinned cases collapse to a single candidate:
 // wsCount == 0 forces every net onto OS (mask 0), and wsCount ==

@@ -72,46 +72,66 @@ type NoPSensitivityRow struct {
 	NoPEnergyJ float64
 }
 
+// nopPoints are the NoP parameter points around the paper's operating
+// point (100 GB/s, 35 ns).
+var nopPoints = []struct {
+	label string
+	bw    float64
+	hop   float64
+}{
+	{"4x slower links", 25, 140},
+	{"2x slower links", 50, 70},
+	{"paper (100GB/s, 35ns)", 100, 35},
+	{"2x faster links", 200, 17.5},
+}
+
 // NoPSensitivity sweeps the NoP link bandwidth and hop latency around
 // the paper's operating point (100 GB/s, 35 ns) and shows the Fig 9
 // conclusion is robust: even a 4x-degraded interconnect keeps NoP far
 // from the computational critical path.
 func NoPSensitivity(cfg workloads.Config) ([]NoPSensitivityRow, error) {
-	points := []struct {
-		label string
-		bw    float64
-		hop   float64
-	}{
-		{"4x slower links", 25, 140},
-		{"2x slower links", 50, 70},
-		{"paper (100GB/s, 35ns)", 100, 35},
-		{"2x faster links", 200, 17.5},
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := sched.NewTemplate(p, chiplet.Simba36(dataflow.OS))
+	if err != nil {
+		return nil, err
 	}
 	var rows []NoPSensitivityRow
-	for _, pt := range points {
-		p, err := workloads.Perception(cfg)
+	for i := range nopPoints {
+		r, err := nopPoint(tmpl, i, schedOptions())
 		if err != nil {
 			return nil, err
 		}
-		m := chiplet.Simba36(dataflow.OS)
-		m.NoP.LinkBWGBs = pt.bw
-		m.NoP.HopLatencyNs = pt.hop
-		s, err := sched.Build(p, m, schedOptions())
-		if err != nil {
-			return nil, err
-		}
-		mt := pipeline.Compute(s, pipeline.Layerwise)
-		rows = append(rows, NoPSensitivityRow{
-			Label:      pt.label,
-			LinkBWGBs:  pt.bw,
-			HopLatNs:   pt.hop,
-			E2EMs:      mt.E2EMs,
-			NoPLatMs:   mt.NoPLatMs,
-			NoPShare:   mt.NoPLatMs / mt.E2EMs,
-			NoPEnergyJ: mt.NoPEnergyJ,
-		})
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// nopPoint evaluates one NoP parameter point from the shared schedule
+// template: every point is the same pipeline on the same 6x6 geometry,
+// only the interconnect parameters differ — exactly the case
+// sched.Template exists for. Goroutine-safe.
+func nopPoint(tmpl *sched.Template, i int, opts sched.Options) (NoPSensitivityRow, error) {
+	pt := nopPoints[i]
+	m := chiplet.Simba36(dataflow.OS)
+	m.NoP.LinkBWGBs = pt.bw
+	m.NoP.HopLatencyNs = pt.hop
+	s, err := tmpl.Build(m, opts)
+	if err != nil {
+		return NoPSensitivityRow{}, err
+	}
+	mt := pipeline.Compute(s, pipeline.Layerwise)
+	return NoPSensitivityRow{
+		Label:      pt.label,
+		LinkBWGBs:  pt.bw,
+		HopLatNs:   pt.hop,
+		E2EMs:      mt.E2EMs,
+		NoPLatMs:   mt.NoPLatMs,
+		NoPShare:   mt.NoPLatMs / mt.E2EMs,
+		NoPEnergyJ: mt.NoPEnergyJ,
+	}, nil
 }
 
 // NoPSensitivityTable renders the NoP sweep.
@@ -133,31 +153,48 @@ type ToleranceSweepRow struct {
 	E2EMs     float64
 }
 
+// defaultTolerances are the tolerance-coefficient points of the sweep.
+var defaultTolerances = []float64{0.01, 0.05, 0.10, 0.25}
+
 // ToleranceSweep varies Algorithm 1's tolerance coefficient: tighter
 // tolerances buy a slightly flatter pipeline at the cost of more greedy
 // steps (sharding) and NoP traffic.
 func ToleranceSweep(cfg workloads.Config) ([]ToleranceSweepRow, error) {
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := sched.NewTemplate(p, chiplet.Simba36(dataflow.OS))
+	if err != nil {
+		return nil, err
+	}
 	var rows []ToleranceSweepRow
-	for _, tol := range []float64{0.01, 0.05, 0.10, 0.25} {
-		p, err := workloads.Perception(cfg)
+	for _, tol := range defaultTolerances {
+		r, err := tolerancePoint(tmpl, tol, schedOptions())
 		if err != nil {
 			return nil, err
 		}
-		opts := schedOptions()
-		opts.Tolerance = tol
-		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), opts)
-		if err != nil {
-			return nil, err
-		}
-		m := pipeline.Compute(s, pipeline.Layerwise)
-		rows = append(rows, ToleranceSweepRow{
-			Tolerance: tol,
-			PipeLatMs: m.PipeLatMs,
-			Steps:     len(s.Steps),
-			E2EMs:     m.E2EMs,
-		})
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// tolerancePoint evaluates one tolerance point from the shared schedule
+// template (same pipeline, same geometry — only the solver's tolerance
+// differs). Goroutine-safe.
+func tolerancePoint(tmpl *sched.Template, tol float64, opts sched.Options) (ToleranceSweepRow, error) {
+	opts.Tolerance = tol
+	s, err := tmpl.Build(chiplet.Simba36(dataflow.OS), opts)
+	if err != nil {
+		return ToleranceSweepRow{}, err
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	return ToleranceSweepRow{
+		Tolerance: tol,
+		PipeLatMs: m.PipeLatMs,
+		Steps:     len(s.Steps),
+		E2EMs:     m.E2EMs,
+	}, nil
 }
 
 // ToleranceSweepTable renders the tolerance sweep.
@@ -178,31 +215,44 @@ type TemporalDepthRow struct {
 	EnergyJ   float64
 }
 
+// defaultTemporalDepths are the queue-depth points of the sweep.
+var defaultTemporalDepths = []int64{4, 8, 12, 16}
+
 // TemporalDepthSweep varies the temporal fusion queue depth N (paper
 // uses 12): the throughput matcher absorbs deeper queues by sharding
 // until the quadrant saturates.
 func TemporalDepthSweep(cfg workloads.Config) ([]TemporalDepthRow, error) {
 	var rows []TemporalDepthRow
-	for _, n := range []int64{4, 8, 12, 16} {
-		c := cfg
-		c.TemporalFrames = n
-		p, err := workloads.Perception(c)
+	for _, n := range defaultTemporalDepths {
+		r, err := temporalPoint(cfg, n, schedOptions())
 		if err != nil {
 			return nil, err
 		}
-		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), schedOptions())
-		if err != nil {
-			return nil, err
-		}
-		m := pipeline.Compute(s, pipeline.Layerwise)
-		rows = append(rows, TemporalDepthRow{
-			Frames:    n,
-			PipeLatMs: m.PipeLatMs,
-			TFusePipe: s.Stages[workloads.StageTFuse].PipeLatMs,
-			EnergyJ:   m.EnergyJ,
-		})
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// temporalPoint evaluates one queue-depth point: the depth changes the
+// workload, so each point compiles its own pipeline. Goroutine-safe.
+func temporalPoint(cfg workloads.Config, n int64, opts sched.Options) (TemporalDepthRow, error) {
+	c := cfg
+	c.TemporalFrames = n
+	p, err := workloads.Perception(c)
+	if err != nil {
+		return TemporalDepthRow{}, err
+	}
+	s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), opts)
+	if err != nil {
+		return TemporalDepthRow{}, err
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	return TemporalDepthRow{
+		Frames:    n,
+		PipeLatMs: m.PipeLatMs,
+		TFusePipe: s.Stages[workloads.StageTFuse].PipeLatMs,
+		EnergyJ:   m.EnergyJ,
+	}, nil
 }
 
 // TemporalDepthTable renders the queue-depth sweep.

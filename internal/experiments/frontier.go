@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"mcmnpu/internal/chiplet"
 	"mcmnpu/internal/costmodel"
@@ -11,6 +13,7 @@ import (
 	"mcmnpu/internal/pipeline"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/sched"
+	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/workloads"
 )
 
@@ -47,42 +50,120 @@ func FrontierSweep(cfg workloads.Config, sizes []int) ([]FrontierSweepRow, error
 	if len(sizes) == 0 {
 		sizes = DefaultMeshSizes
 	}
-	var rows []FrontierSweepRow
-	var f pareto.Frontier
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := frontierPoints(sizes)
+	rows := make([]FrontierSweepRow, len(pts))
+	for i, pt := range pts {
+		r, err := frontierPoint(p, pt.k, pt.style, schedOptions())
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = r
+	}
+	markFrontier(rows)
+	return rows, nil
+}
+
+// frontierPointSpec identifies one (mesh size, dataflow) point.
+type frontierPointSpec struct {
+	k     int
+	style dataflow.Style
+}
+
+// frontierPoints enumerates the sweep's points in the canonical
+// mesh-major, OS-before-WS order the frontier fold depends on.
+func frontierPoints(sizes []int) []frontierPointSpec {
+	pts := make([]frontierPointSpec, 0, 2*len(sizes))
 	for _, k := range sizes {
 		for _, style := range []dataflow.Style{dataflow.OS, dataflow.WS} {
-			m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
-				func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
-			if err != nil {
-				return nil, err
-			}
-			row := FrontierSweepRow{
-				Mesh:     fmt.Sprintf("%dx%d", k, k),
-				Dataflow: style.String(),
-				Chiplets: m.Chiplets(),
-				PEs:      m.TotalPEs(),
-			}
-			p, err := workloads.Perception(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s, err := sched.Build(p, m, schedOptions())
-			if err != nil {
-				row.Reason = err.Error()
-				rows = append(rows, row)
-				continue
-			}
-			mt := pipeline.Compute(s, pipeline.Layerwise)
-			row.PipeLatMs = mt.PipeLatMs
-			row.EnergyJ = mt.EnergyJ
-			row.UtilPct = mt.UtilPct
-			row.Feasible = true
-			f.Add(pareto.Point{
-				Name: row.Mesh + "/" + row.Dataflow,
-				Vec:  []float64{row.PipeLatMs, row.EnergyJ, float64(row.PEs)},
-			})
-			rows = append(rows, row)
+			pts = append(pts, frontierPointSpec{k: k, style: style})
 		}
+	}
+	return pts
+}
+
+// frontierPoint schedules the shared pipeline on one (mesh, dataflow)
+// point. Goroutine-safe; the frontier fold happens afterwards in
+// markFrontier, over the completed rows in point order.
+func frontierPoint(p *workloads.Pipeline, k int, style dataflow.Style, opts sched.Options) (FrontierSweepRow, error) {
+	m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
+		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+	if err != nil {
+		return FrontierSweepRow{}, err
+	}
+	row := FrontierSweepRow{
+		Mesh:     fmt.Sprintf("%dx%d", k, k),
+		Dataflow: style.String(),
+		Chiplets: m.Chiplets(),
+		PEs:      m.TotalPEs(),
+	}
+	s, err := sched.Build(p, m, opts)
+	if err != nil {
+		row.Reason = err.Error()
+		return row, nil
+	}
+	mt := pipeline.Compute(s, pipeline.Layerwise)
+	row.PipeLatMs = mt.PipeLatMs
+	row.EnergyJ = mt.EnergyJ
+	row.UtilPct = mt.UtilPct
+	row.Feasible = true
+	return row, nil
+}
+
+// FrontierSweepParallel is FrontierSweep with the points fanned across
+// the engine's workers, heaviest mesh first, memoizing through the
+// engine's cache. Rows are written by point index and the frontier fold
+// runs serially afterwards in canonical point order, so the result is
+// bit-for-bit identical to the serial sweep at any worker count.
+func FrontierSweepParallel(ctx context.Context, e *sweep.Engine, cfg workloads.Config, sizes []int) ([]FrontierSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultMeshSizes
+	}
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := frontierPoints(sizes)
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pts[order[a]].k > pts[order[b]].k })
+	rows := make([]FrontierSweepRow, len(pts))
+	opts := engineSchedOptions(e)
+	err = e.Each(ctx, len(pts), func(j int) error {
+		i := order[j]
+		r, err := frontierPoint(p, pts[i].k, pts[i].style, opts)
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	markFrontier(rows)
+	return rows, nil
+}
+
+// markFrontier folds the feasible rows into the Pareto frontier in row
+// order and flags the non-dominated set. The fold order is part of the
+// determinism contract: rows always arrive in canonical point order,
+// whether computed serially or assembled from a parallel run.
+func markFrontier(rows []FrontierSweepRow) {
+	var f pareto.Frontier
+	for _, r := range rows {
+		if !r.Feasible {
+			continue
+		}
+		f.Add(pareto.Point{
+			Name: r.Mesh + "/" + r.Dataflow,
+			Vec:  []float64{r.PipeLatMs, r.EnergyJ, float64(r.PEs)},
+		})
 	}
 	on := map[string]bool{}
 	for _, p := range f.Points() {
@@ -91,7 +172,6 @@ func FrontierSweep(cfg workloads.Config, sizes []int) ([]FrontierSweepRow, error
 	for i := range rows {
 		rows[i].OnFrontier = rows[i].Feasible && on[rows[i].Mesh+"/"+rows[i].Dataflow]
 	}
-	return rows, nil
 }
 
 // FrontierSweepTable renders the frontier sweep.

@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/dataflow"
+	"mcmnpu/internal/dse"
 	"mcmnpu/internal/report"
+	"mcmnpu/internal/sched"
 	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/workloads"
 )
@@ -14,6 +18,205 @@ import (
 // engine stays a pure execution layer (workers, cancellation, reduce)
 // while the domain knowledge — which experiments exist and how they
 // render — stays with the experiments.
+//
+// Two granularities exist. DefaultGrid dispatches whole scenarios —
+// seven coarse units, so the pool idles behind the largest one (the
+// frontier sweep alone is ~40% of the grid's work) and adding workers
+// barely moves the wall clock. ShardedGrid is the scaling path: each
+// scenario declares its individual points (one schedule build each) and
+// the engine interleaves all of them, with every schedule memoizing
+// through the engine's own cache instead of this package's global one.
+
+// engineSchedOptions is schedOptions with the engine's per-engine cache
+// instead of the package-global one: sharded grid points share memoized
+// evaluations with the engine's DSE explorations and with each other,
+// without contending with harnesses running on other engines.
+func engineSchedOptions(e *sweep.Engine) sched.Options {
+	o := sched.DefaultOptions()
+	o.Cache = e.Cache()
+	return o
+}
+
+// scanSpace is the serial candidate scan of one (space, wsCount) pin —
+// the same fold ExploreSpace distributes, so the result is bit-for-bit
+// identical to the engine's parallel reduce. Grid points use it because
+// each point is already inside a pool worker; fanning the masks again
+// would only oversubscribe the pool.
+func scanSpace(sp *dse.Space, wsCount int) dse.Result {
+	cands := sp.Candidates(wsCount)
+	sc := sp.NewScanner(wsCount)
+	for i, c := range cands {
+		sc.Scan(c, i)
+	}
+	return sc.Finish(len(cands))
+}
+
+// ShardedGrid returns the standard experiment grid decomposed into
+// point-level units for Engine.RunGridSharded. Scenario names, tables
+// and values are identical to DefaultGrid's — only the dispatch
+// granularity and the cache routing differ. Weights are rough Build
+// cost estimates (chiplet count of the point's mesh, scaled by replica
+// or iteration pressure where it matters) so the pool starts the
+// 12x12 builds before the 4x4 ones.
+func ShardedGrid(e *sweep.Engine) []sweep.ShardedScenario {
+	return []sweep.ShardedScenario{
+		{Name: "cameras", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			counts := DefaultCameraCounts
+			rows := make([]CameraSweepRow, len(counts))
+			return sweep.GridPlan{
+				Points: len(counts),
+				Weight: func(i int) float64 { return 4.5 * float64(counts[i]) }, // 6x6 build, FE replicas scale with cameras
+				Run: func(ctx context.Context, i int) error {
+					r, err := cameraPoint(cfg, counts[i], engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) { return CameraSweepTable(rows), nil },
+			}, nil
+		}},
+		{Name: "temporal-depth", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			depths := defaultTemporalDepths
+			rows := make([]TemporalDepthRow, len(depths))
+			return sweep.GridPlan{
+				Points: len(depths),
+				Weight: func(i int) float64 { return 36 },
+				Run: func(ctx context.Context, i int) error {
+					r, err := temporalPoint(cfg, depths[i], engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) { return TemporalDepthTable(rows), nil },
+			}, nil
+		}},
+		{Name: "nop-bandwidth", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			p, err := workloads.Perception(cfg)
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			tmpl, err := sched.NewTemplate(p, chiplet.Simba36(dataflow.OS))
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			rows := make([]NoPSensitivityRow, len(nopPoints))
+			return sweep.GridPlan{
+				Points: len(nopPoints),
+				Weight: func(i int) float64 { return 36 },
+				Run: func(ctx context.Context, i int) error {
+					r, err := nopPoint(tmpl, i, engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) { return NoPSensitivityTable(rows), nil },
+			}, nil
+		}},
+		{Name: "mesh-size", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			sizes := DefaultMeshSizes
+			p, err := workloads.Perception(cfg)
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			rows := make([]MeshSweepRow, len(sizes))
+			return sweep.GridPlan{
+				Points: len(sizes),
+				Weight: func(i int) float64 { return float64(sizes[i] * sizes[i]) },
+				Run: func(ctx context.Context, i int) error {
+					r, err := meshPoint(p, sizes[i], engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) { return MeshSweepTable(rows), nil },
+			}, nil
+		}},
+		{Name: "frontier", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			p, err := workloads.Perception(cfg)
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			pts := frontierPoints(DefaultMeshSizes)
+			rows := make([]FrontierSweepRow, len(pts))
+			return sweep.GridPlan{
+				Points: len(pts),
+				Weight: func(i int) float64 { return float64(pts[i].k * pts[i].k) },
+				Run: func(ctx context.Context, i int) error {
+					r, err := frontierPoint(p, pts[i].k, pts[i].style, engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) {
+					markFrontier(rows)
+					return FrontierSweepTable(rows), nil
+				},
+			}, nil
+		}},
+		{Name: "tolerance", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			tols := defaultTolerances
+			p, err := workloads.Perception(cfg)
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			tmpl, err := sched.NewTemplate(p, chiplet.Simba36(dataflow.OS))
+			if err != nil {
+				return sweep.GridPlan{}, err
+			}
+			rows := make([]ToleranceSweepRow, len(tols))
+			return sweep.GridPlan{
+				Points: len(tols),
+				// Tighter tolerance means more greedy iterations.
+				Weight: func(i int) float64 { return 36 * 0.05 / tols[i] },
+				Run: func(ctx context.Context, i int) error {
+					r, err := tolerancePoint(tmpl, tols[i], engineSchedOptions(e))
+					if err != nil {
+						return err
+					}
+					rows[i] = r
+					return nil
+				},
+				Finish: func() (*report.Table, error) { return ToleranceSweepTable(rows), nil },
+			}, nil
+		}},
+		{Name: "dse-lcstr", Prepare: func(ctx context.Context, cfg workloads.Config) (sweep.GridPlan, error) {
+			lcstrs := DefaultLcstrPoints
+			cfg.LaneContext = 0.6 // Table I's operating point (Fig 11)
+			// One cost table for all Lcstr points: the constraint only
+			// gates feasibility, never costs.
+			base := dse.NewCachedSpace(workloads.Trunks(cfg), 9, lcstrs[0], e.Cache())
+			results := make([]dse.Result, len(lcstrs))
+			return sweep.GridPlan{
+				Points: len(lcstrs),
+				Weight: func(i int) float64 { return 4 },
+				Run: func(ctx context.Context, i int) error {
+					results[i] = scanSpace(base.WithLcstr(lcstrs[i]), 2)
+					return nil
+				},
+				Finish: func() (*report.Table, error) {
+					t := report.NewTable("DSE — Het(2) trunks integration vs latency constraint",
+						"Lcstr(ms)", "E2E Lat(ms)", "Pipe Lat(ms)", "Energy(J)", "EDP(ms*J)", "WS nets", "Feasible")
+					for i, l := range lcstrs {
+						r := results[i]
+						t.AddRow(l, r.E2EMs, r.PipeLatMs, r.EnergyJ, r.EDP,
+							fmt.Sprintf("%d", len(r.WSNets)), fmt.Sprintf("%v", r.Feasible))
+					}
+					return t, nil
+				},
+			}, nil
+		}},
+	}
+}
 
 // DefaultGrid returns the standard multi-scenario experiment grid: the
 // sweeps the paper varies one at a time (camera count, temporal queue

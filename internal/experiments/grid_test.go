@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"mcmnpu/internal/sweep"
 	"mcmnpu/internal/workloads"
@@ -34,6 +36,88 @@ func TestDefaultGridRunsEveryScenario(t *testing.T) {
 		if r.Table == nil || len(r.Table.Rows) == 0 {
 			t.Errorf("scenario %s produced no rows", r.Scenario)
 		}
+	}
+}
+
+// renderResults flattens a grid run into one string: scenario order,
+// errors and full table bytes all participate in the comparison.
+func renderResults(t *testing.T, results []sweep.GridResult) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %s failed: %v", r.Scenario, r.Err)
+		}
+		sb.WriteString(r.Scenario)
+		sb.WriteString("\n")
+		r.Table.Render(&sb)
+	}
+	return sb.String()
+}
+
+func runSharded(t *testing.T, workers int) string {
+	t.Helper()
+	eng := sweep.New(workers)
+	return renderResults(t, eng.RunGridSharded(context.Background(), workloads.DefaultConfig(), ShardedGrid(eng)))
+}
+
+// TestShardedGridMatchesDefaultGrid: the sharded grid is a pure
+// dispatch-granularity change — scenario names, tables and every
+// rendered byte must match the coarse scenario-per-worker grid. This
+// pins the equivalences the decomposition relies on: template Builds
+// equal direct Builds, the frontier fold in point order equals the
+// serial fold, and the serial DSE scan equals the engine's parallel
+// reduce.
+func TestShardedGridMatchesDefaultGrid(t *testing.T) {
+	coarseEng := sweep.New(1)
+	want := renderResults(t, coarseEng.RunGrid(context.Background(), workloads.DefaultConfig(), DefaultGrid(coarseEng)))
+	if got := runSharded(t, 1); got != want {
+		t.Errorf("sharded grid output diverged from the coarse grid:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestShardedGridSerialParallelIdentical: bit-for-bit identical output
+// at every worker count — the determinism contract the sharded
+// dispatch must keep. Runs under `make race`, so the worker fan-out is
+// also checked for data races.
+func TestShardedGridSerialParallelIdentical(t *testing.T) {
+	want := runSharded(t, 1)
+	for _, workers := range []int{2, 8, 32} {
+		if got := runSharded(t, workers); got != want {
+			t.Errorf("workers=%d output diverged from serial:\n got:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestShardedGridParallelEfficiency asserts the point-level sharding
+// actually buys wall time: 8 workers must finish the grid in under
+// half the 1-worker time. Skipped under -short and on hosts with fewer
+// than 8 CPUs, where the workers cannot run concurrently and the
+// ratio measures the scheduler, not the decomposition; the bench
+// lane's scaling gate enforces the committed ratios on CI's multi-core
+// runners.
+func TestShardedGridParallelEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if n := runtime.NumCPU(); n < 8 {
+		t.Skipf("host has %d CPUs; need >= 8 to observe parallel speedup", n)
+	}
+	wall := func(workers int) time.Duration {
+		eng := sweep.New(workers)
+		start := time.Now()
+		for _, r := range eng.RunGridSharded(context.Background(), workloads.DefaultConfig(), ShardedGrid(eng)) {
+			if r.Err != nil {
+				t.Fatalf("scenario %s failed: %v", r.Scenario, r.Err)
+			}
+		}
+		return time.Since(start)
+	}
+	serial := wall(1)
+	parallel := wall(8)
+	if parallel >= serial/2 {
+		t.Errorf("8-worker grid took %v vs %v serial (%.2fx); want < 0.5x",
+			parallel, serial, float64(parallel)/float64(serial))
 	}
 }
 

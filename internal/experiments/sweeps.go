@@ -40,26 +40,37 @@ func CameraSweep(cfg workloads.Config, counts []int64) ([]CameraSweepRow, error)
 	}
 	var rows []CameraSweepRow
 	for _, n := range counts {
-		c := cfg
-		c.Cameras = n
-		p, err := workloads.Perception(c)
+		r, err := cameraPoint(cfg, n, schedOptions())
 		if err != nil {
-			return nil, fmt.Errorf("cameras=%d: %w", n, err)
+			return nil, err
 		}
-		s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), schedOptions())
-		if err != nil {
-			return nil, fmt.Errorf("cameras=%d: %w", n, err)
-		}
-		m := pipeline.Compute(s, pipeline.Layerwise)
-		rows = append(rows, CameraSweepRow{
-			Cameras:   n,
-			E2EMs:     m.E2EMs,
-			PipeLatMs: m.PipeLatMs,
-			EnergyJ:   m.EnergyJ,
-			UtilPct:   m.UtilPct,
-		})
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// cameraPoint evaluates one camera-count point: the camera count
+// changes the workload itself, so each point compiles its own pipeline.
+// Goroutine-safe given a concurrency-safe (or nil) opts.Cache.
+func cameraPoint(cfg workloads.Config, n int64, opts sched.Options) (CameraSweepRow, error) {
+	c := cfg
+	c.Cameras = n
+	p, err := workloads.Perception(c)
+	if err != nil {
+		return CameraSweepRow{}, fmt.Errorf("cameras=%d: %w", n, err)
+	}
+	s, err := sched.Build(p, chiplet.Simba36(dataflow.OS), opts)
+	if err != nil {
+		return CameraSweepRow{}, fmt.Errorf("cameras=%d: %w", n, err)
+	}
+	m := pipeline.Compute(s, pipeline.Layerwise)
+	return CameraSweepRow{
+		Cameras:   n,
+		E2EMs:     m.E2EMs,
+		PipeLatMs: m.PipeLatMs,
+		EnergyJ:   m.EnergyJ,
+		UtilPct:   m.UtilPct,
+	}, nil
 }
 
 // CameraSweepTable renders the sensor-suite sweep.
@@ -95,32 +106,42 @@ func MeshSweep(cfg workloads.Config, sizes []int) ([]MeshSweepRow, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultMeshSizes
 	}
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
 	var rows []MeshSweepRow
 	for _, k := range sizes {
-		m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
-			func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(dataflow.OS) })
+		r, err := meshPoint(p, k, schedOptions())
 		if err != nil {
 			return nil, err
 		}
-		row := MeshSweepRow{Mesh: fmt.Sprintf("%dx%d", k, k), Chiplets: m.Chiplets()}
-		p, err := workloads.Perception(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s, err := sched.Build(p, m, schedOptions())
-		if err != nil {
-			row.Reason = err.Error()
-			rows = append(rows, row)
-			continue
-		}
-		mt := pipeline.Compute(s, pipeline.Layerwise)
-		row.PipeLatMs = mt.PipeLatMs
-		row.EnergyJ = mt.EnergyJ
-		row.UtilPct = mt.UtilPct
-		row.Feasible = true
-		rows = append(rows, row)
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// meshPoint schedules the shared pipeline on one k x k mesh. A schedule
+// that cannot be built marks the row infeasible rather than erroring.
+// Goroutine-safe: sched.Build reads the pipeline, never mutates it.
+func meshPoint(p *workloads.Pipeline, k int, opts sched.Options) (MeshSweepRow, error) {
+	m, err := chiplet.New(fmt.Sprintf("simba-%dx%d", k, k), k, k, nop.DefaultParams(),
+		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(dataflow.OS) })
+	if err != nil {
+		return MeshSweepRow{}, err
+	}
+	row := MeshSweepRow{Mesh: fmt.Sprintf("%dx%d", k, k), Chiplets: m.Chiplets()}
+	s, err := sched.Build(p, m, opts)
+	if err != nil {
+		row.Reason = err.Error()
+		return row, nil
+	}
+	mt := pipeline.Compute(s, pipeline.Layerwise)
+	row.PipeLatMs = mt.PipeLatMs
+	row.EnergyJ = mt.EnergyJ
+	row.UtilPct = mt.UtilPct
+	row.Feasible = true
+	return row, nil
 }
 
 // MeshSweepTable renders the package-size sweep.

@@ -22,9 +22,7 @@ import (
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/pipeline"
 	"mcmnpu/internal/scenario"
-	"mcmnpu/internal/sched"
 	"mcmnpu/internal/sweep"
-	"mcmnpu/internal/workloads"
 )
 
 // lbSafety discounts the analytic latency bound in the pruning
@@ -375,8 +373,11 @@ func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
 			WindowFrames: opts.WindowFrames,
 			Engine:       opts.Engine,
 		}
-		for _, sp := range opts.Scenarios {
-			r, err := scenario.Run(ctx, e.Candidate.Apply(sp), ropts)
+		for si := range opts.Scenarios {
+			// Stream on the schedule phase 1 built for this exact
+			// (candidate, scenario) pair — the build was the serial
+			// half of every full run.
+			r, err := bounds[ci*ns+si].prep.Run(ctx, ropts)
 			if err != nil {
 				return Report{}, fmt.Errorf("pareto %s: %w", e.Name, err)
 			}
@@ -406,41 +407,35 @@ func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
 	return rep, nil
 }
 
-// bound is one candidate x scenario analytic lower-bound sample.
+// bound is one candidate x scenario analytic lower-bound sample. It
+// retains the prepared scenario (compiled bundle + built schedule), so
+// a candidate that survives pruning streams on the schedule phase 1
+// already built instead of rebuilding it serially.
 type bound struct {
 	latMs   float64
 	energyJ float64
 	pes     int64
 	chips   int
+	prep    *scenario.Prepared
 	err     error
 }
 
-// lowerBound compiles one candidate-applied spec, builds its schedule
-// once and reads the analytic pipeline metrics. Shared with the full
-// run only through the layer-cost cache, so cached and uncached phases
-// agree bit-for-bit.
+// lowerBound prepares one candidate-applied spec (compile + one
+// schedule build) and reads the analytic pipeline metrics. Shared with
+// the full run only through the layer-cost cache, so cached and
+// uncached phases agree bit-for-bit.
 func lowerBound(sp scenario.Spec, cache *costmodel.Cache) (b bound) {
-	bundle, err := sp.Compile()
+	prep, err := scenario.Prepare(sp, cache)
 	if err != nil {
 		b.err = err
 		return b
 	}
-	p, err := workloads.Perception(bundle.Config)
-	if err != nil {
-		b.err = err
-		return b
-	}
-	bundle.Sched.Cache = cache
-	s, err := sched.Build(p, bundle.MCM, bundle.Sched)
-	if err != nil {
-		b.err = err
-		return b
-	}
-	m := pipeline.Compute(s, pipeline.Layerwise)
+	m := pipeline.Compute(prep.Schedule, pipeline.Layerwise)
 	b.latMs = m.E2EMs
 	b.energyJ = m.EnergyJ
-	b.pes = bundle.MCM.TotalPEs()
-	b.chips = bundle.MCM.Chiplets()
+	b.pes = prep.Bundle.MCM.TotalPEs()
+	b.chips = prep.Bundle.MCM.Chiplets()
+	b.prep = prep
 	return b
 }
 

@@ -78,15 +78,56 @@ type Result struct {
 	MissRatePct    float64
 }
 
+// Prepared is a compiled, scheduled scenario ready for streaming runs:
+// the spec compiled and Algorithm 1 run exactly once. All the expensive
+// serial work happens in Prepare, so callers that already need the
+// schedule for analysis (the pareto explorer's lower-bound phase) can
+// build it inside a worker pool and stream later without rebuilding.
+type Prepared struct {
+	Bundle   Bundle
+	Schedule *sched.Schedule
+}
+
+// Prepare compiles the spec and builds its schedule with the given
+// layer-cost cache (nil builds uncached; costs are value-identical
+// either way).
+func Prepare(sp Spec, cache *costmodel.Cache) (*Prepared, error) {
+	b, err := sp.Compile()
+	if err != nil {
+		return nil, err
+	}
+	b.Sched.Cache = cache
+	s, err := buildSchedule(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Bundle: b, Schedule: s}, nil
+}
+
 // Run compiles the spec, builds its schedule once, and streams the frame
 // budget through the simulator in trace windows.
 //
 //perf:hot — streams every frame window; per-window state is reused, not reallocated
 func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
-	b, err := sp.Compile()
+	cache := costmodel.NewCache()
+	if opts.Engine != nil {
+		cache = opts.Engine.Cache()
+	}
+	p, err := Prepare(sp, cache)
 	if err != nil {
 		return Result{}, err
 	}
+	return p.Run(ctx, opts)
+}
+
+// Run streams the frame budget of a prepared scenario through the
+// simulator in trace windows — serially, or fanned across opts.Engine.
+// The schedule is reused as built; opts.Engine only affects window
+// dispatch here, not costs.
+//
+//perf:hot — streams every frame window; per-window state is reused, not reallocated
+func (pr *Prepared) Run(ctx context.Context, opts RunOptions) (Result, error) {
+	b, s := pr.Bundle, pr.Schedule
 	frames := b.Spec.Frames
 	if opts.Frames > 0 {
 		frames = opts.Frames
@@ -99,16 +140,6 @@ func Run(ctx context.Context, sp Spec, opts RunOptions) (Result, error) {
 		win = frames
 	}
 
-	cache := costmodel.NewCache()
-	if opts.Engine != nil {
-		cache = opts.Engine.Cache()
-	}
-	b.Sched.Cache = cache
-
-	s, err := buildSchedule(b)
-	if err != nil {
-		return Result{}, err
-	}
 	m := pipeline.Compute(s, pipeline.Layerwise)
 
 	// The schedule compiles to a simulation graph once; the windows —

@@ -61,37 +61,22 @@ type Schedule struct {
 
 // Build runs Algorithm 1: quadrant allocation, initial per-layer
 // placement, then nested greedy throughput matching with recursive
-// sharding and surplus-chiplet reallocation.
+// sharding and surplus-chiplet reallocation. One-shot form of
+// NewTemplate + Template.Build; sweeps that schedule the same pipeline
+// many times compile the template once instead.
 //
 //perf:hot — runs once per sweep candidate; its improvement loops dominate sweep time
 func Build(p *workloads.Pipeline, m *chiplet.MCM, opts Options) (*Schedule, error) {
-	if opts.MaxIters <= 0 {
-		opts.MaxIters = 256
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 0.05
-	}
-	if opts.BaseStage >= len(p.Stages) {
-		opts.BaseStage = 0
-	}
-	s := &Schedule{MCM: m, Pipeline: p, Opts: opts}
-
-	pools, err := allocatePools(m, len(p.Stages))
+	t, err := NewTemplate(p, m)
 	if err != nil {
 		return nil, err
 	}
-	for i, st := range p.Stages {
-		s.Stages = append(s.Stages, newStageSchedule(i, st, pools[i], m, opts.Cache))
-	}
-	if len(pools) > len(p.Stages) {
-		// Unassigned surplus partition (e.g. the trunks quadrant in a
-		// 3-stage run): modeled as an empty stage whose idle chiplets
-		// borrowChiplet can raid.
-		s.Stages = append(s.Stages, &StageSchedule{
-			Name: "surplus", Index: len(p.Stages),
-			Pool: pools[len(p.Stages)], mcm: m, cache: opts.Cache,
-		})
-	}
+	return t.Build(m, opts)
+}
+
+// solve runs the greedy throughput-matching loops on freshly
+// instantiated stages (the mutable half of Algorithm 1).
+func (s *Schedule) solve(opts Options) (*Schedule, error) {
 	if err := s.refreshAll(); err != nil {
 		return nil, err
 	}

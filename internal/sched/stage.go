@@ -6,7 +6,6 @@ import (
 
 	"mcmnpu/internal/chiplet"
 	"mcmnpu/internal/costmodel"
-	"mcmnpu/internal/dnn"
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/workloads"
 )
@@ -72,46 +71,11 @@ func (s *stageScratch) busyMap() map[nop.Coord]bool {
 	return s.busy
 }
 
-// newStageSchedule builds the initial unit decomposition for a stage.
-//
-//   - Replicated stages (FE+BFPN x 8 cameras) get one whole-model unit
-//     per replica.
-//   - Single-model fusion stages get one unit per layer (tiny
-//     non-compute layers fold into their predecessor unit).
-//   - Multi-model stages (trunks) get one whole-model unit per model.
+// newStageSchedule builds the initial unit decomposition for a stage
+// (one-shot form of decomposeStage + stageFromSpecs; see template.go
+// for the decomposition rules).
 func newStageSchedule(idx int, st workloads.Stage, pool []nop.Coord, m *chiplet.MCM, cache *costmodel.Cache) *StageSchedule {
-	ss := &StageSchedule{Name: st.Name, Index: idx, Pool: append([]nop.Coord(nil), pool...), mcm: m, cache: cache}
-	switch {
-	case st.Replicas > 1:
-		for r := 0; r < st.Replicas; r++ {
-			for _, g := range st.Graphs {
-				ss.Units = append(ss.Units, &Unit{
-					StageIdx: idx, Model: g.Name, Replica: r + 1,
-					Nodes: g.Nodes(), Shards: 1,
-				})
-			}
-		}
-	case len(st.Graphs) == 1:
-		g := st.Graphs[0]
-		var cur *Unit
-		for _, n := range g.Nodes() {
-			significant := n.Layer.Kind.ComputeBound()
-			if cur == nil || significant {
-				//lint:allow hotpathalloc -- each Unit is built once at schedule construction and retained for its lifetime; the allocation is the product
-				cur = &Unit{StageIdx: idx, Model: g.Name, Nodes: []*dnn.Node{n}, Shards: 1}
-				ss.Units = append(ss.Units, cur)
-			} else {
-				cur.Nodes = append(cur.Nodes, n)
-			}
-		}
-	default:
-		for _, g := range st.Graphs {
-			ss.Units = append(ss.Units, &Unit{
-				StageIdx: idx, Model: g.Name, Nodes: g.Nodes(), Shards: 1,
-			})
-		}
-	}
-	return ss
+	return stageFromSpecs(idx, st.Name, decomposeStage(st), pool, m, cache)
 }
 
 // refresh re-evaluates unit costs, re-places units onto the pool (LPT),

@@ -24,12 +24,12 @@ type Engine struct {
 }
 
 // New returns an engine with the given parallelism; workers <= 0 means
-// runtime.NumCPU(). The engine owns a layer-cost cache shared by every
-// DSE exploration it runs (Explore/ExploreSpace/TableI, including the
-// grid's dse-lcstr scenario), so repeated (layer, accel) evaluations
-// across candidate masks and Lcstr points are memoized once per engine.
-// The other grid scenarios route through internal/experiments, whose
-// harnesses memoize via that package's shared cache.
+// runtime.NumCPU(). The engine owns a layer-cost cache shared by
+// everything it runs — the DSE explorations (Explore/ExploreSpace/
+// TableI) and every scenario of a sharded grid (RunGridSharded) — so
+// repeated (layer, accel) evaluations across candidate masks, Lcstr
+// points and grid points are memoized once per engine, with no
+// cross-engine contention on a package-global store.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -51,10 +51,17 @@ func (e *Engine) Cache() *costmodel.Cache { return e.cache }
 // work; already-running items finish. Each blocks until all workers
 // have returned.
 //
+// n <= 0 is an empty run, not an error: it returns nil on a live
+// context. A cancelled context still surfaces its error — callers use
+// Each as their cancellation check, even with no work.
+//
 //perf:hot — the worker-pool dispatch loop every parallel evaluation rides on
 func (e *Engine) Each(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

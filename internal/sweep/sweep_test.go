@@ -37,6 +37,28 @@ func TestEachZeroItems(t *testing.T) {
 	}
 }
 
+// TestEachNoItemsHonorsContext: the n<=0 early return must report a
+// dead context instead of masking it (regression: Each used to return
+// nil unconditionally for n==0, so a caller looping over empty batches
+// never noticed cancellation).
+func TestEachNoItemsHonorsContext(t *testing.T) {
+	eng := New(4)
+	for _, n := range []int{0, -5} {
+		if err := eng.Each(context.Background(), n, func(int) error {
+			t.Error("fn called with no items")
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d live ctx: %v", n, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := eng.Each(ctx, n, func(int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("n=%d cancelled ctx: err = %v, want context.Canceled", n, err)
+		}
+	}
+}
+
 func TestEachPropagatesFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	var calls int32
