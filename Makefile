@@ -1,7 +1,7 @@
 GO ?= go
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nosha)
 
-.PHONY: all build fmt vet lint lint-det lint-hot vulncheck test race bench bench-json bench-baseline bench-check check golden
+.PHONY: all build fmt vet lint lint-det lint-hot vulncheck test race bench bench-json bench-baseline bench-check check golden loadtest
 
 all: check
 
@@ -127,12 +127,20 @@ bench-check: bench-json
 		-threshold 20 -allocthreshold 30 -allocguard $(ALLOC_GUARD) -require $(REQUIRE_BENCH) \
 		-scaling '$(SCALING_GATE)'
 
+# loadtest is the serving smoke: build cmd/serve and cmd/loadtest,
+# boot the daemon on a free port, drive concurrent cold/warm phases
+# through it, and shut it down gracefully. Any failed request (or an
+# unclean drain) fails the target — the CI serving lane's gate.
+loadtest:
+	./scripts/loadtest.sh
+
 # golden regenerates the snapshot files after an intentional change to
 # the analytic stack; review the diff before committing.
 golden:
 	$(GO) test ./internal/experiments -run TestGolden -update
 	$(GO) test ./internal/scenario -run TestListTableGolden -update
 	$(GO) test ./cmd/pareto -run TestTopTableGolden -update
+	$(GO) test ./internal/api -run TestRequestKeyGolden -update
 
 # check is the tier-1 gate, mirrored by .github/workflows/ci.yml:
 # build + format + vet + determinism lint + race-enabled tests + bench

@@ -1,0 +1,290 @@
+// Command loadtest drives a running cmd/serve daemon: N concurrent
+// clients issue a mix of small and larger scenario-run requests in two
+// phases — a cold phase where every body is unique (seed-perturbed, so
+// each request computes) and a warm phase that reissues the cold
+// bodies verbatim (so the server answers from its content-addressed
+// result cache). It reports p50/p99 service latency per phase, the
+// observed cache hit rate, and admission rejections honored via
+// Retry-After; any request that exhausts its retries fails the run
+// (exit 1), which is what the CI serving lane gates on.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mcmnpu/internal/api"
+	"mcmnpu/internal/report"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// result is one request's outcome.
+type result struct {
+	phase    string // "cold" | "warm"
+	latency  time.Duration
+	cacheHit bool
+	retries  int
+	err      error
+	scenario string
+}
+
+// run is the testable entry point.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseURL := fs.String("url", "http://127.0.0.1:8080", "serve daemon base URL")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	requests := fs.Int("requests", 8, "requests per client per phase")
+	retries := fs.Int("retries", 50, "max 429 retries per request (honoring Retry-After)")
+	seed := fs.Uint64("seed", 1, "base seed for cold-phase request perturbation")
+	var opts report.Options
+	opts.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *clients <= 0 || *requests <= 0 {
+		fmt.Fprintln(stderr, "loadtest: -clients and -requests must be positive")
+		return 2
+	}
+
+	art, err := opts.Open(stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	url := strings.TrimSuffix(*baseURL, "/")
+	hc := &http.Client{Timeout: 5 * time.Minute}
+
+	// The request mix: small and larger runs over registry scenarios.
+	// Frames stay low so a loadtest finishes in seconds; "mixed sizes"
+	// comes from the frame budget and camera-heavy vs light scenarios.
+	type shape struct {
+		scenario string
+		frames   int
+		window   int
+	}
+	shapes := []shape{
+		{"urban-8cam", 4, 2},
+		{"highway-5cam", 8, 4},
+		{"lowlatency-smallgrid", 4, 2},
+		{"mono-baseline-4x2304", 8, 4},
+	}
+
+	body := func(client, req int, phaseSeed uint64) ([]byte, string) {
+		sh := shapes[(client+req)%len(shapes)]
+		r := api.RunScenarioRequest{
+			Scenarios:    []string{sh.scenario},
+			Frames:       sh.frames,
+			WindowFrames: sh.window,
+			Seed:         phaseSeed,
+		}
+		b, err := api.CanonicalJSON(&r)
+		if err != nil { // static request shapes: cannot happen
+			panic(err)
+		}
+		return b, sh.scenario
+	}
+
+	phases := []struct {
+		name string
+		seed func(client, req int) uint64
+	}{
+		// Cold: every (client, request) pair gets a unique seed, so no
+		// two bodies share a cache key.
+		{"cold", func(c, r int) uint64 { return *seed + uint64(c*(*requests)+r) }},
+		// Warm: replay the cold bodies exactly — all hits.
+		{"warm", func(c, r int) uint64 { return *seed + uint64(c*(*requests)+r) }},
+	}
+
+	var all []result
+	for _, ph := range phases {
+		results := make([]result, *clients*(*requests))
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < *requests; i++ {
+					b, name := body(c, i, ph.seed(c, i))
+					r := issue(ctx, hc, url+"/v1/run", b, *retries)
+					r.phase = ph.name
+					r.scenario = name
+					results[c*(*requests)+i] = r
+				}
+			}(c)
+		}
+		wg.Wait()
+		all = append(all, results...)
+	}
+
+	failed := 0
+	for _, r := range all {
+		if r.err != nil {
+			failed++
+		}
+	}
+	if err := opts.Emit(art, loadDoc{all}); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "loadtest: %d request(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// issue POSTs one request, retrying 429s per Retry-After up to the
+// retry budget.
+func issue(ctx context.Context, hc *http.Client, url string, body []byte, retries int) result {
+	var res result
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			res.err = err
+			break
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.VersionHeader, api.Version)
+		resp, err := hc.Do(req)
+		if err != nil {
+			res.err = err
+			break
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			res.err = err
+			break
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if attempt >= retries {
+				res.err = errors.New("retry budget exhausted on 429")
+				break
+			}
+			res.retries++
+			wait := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if d, err := time.ParseDuration(ra + "s"); err == nil {
+					wait = d
+				}
+			}
+			select {
+			case <-ctx.Done():
+				res.err = context.Cause(ctx)
+			case <-time.After(wait):
+				continue
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			res.err = fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+			break
+		}
+		res.cacheHit = resp.Header.Get("X-Cache") == "hit"
+		break
+	}
+	res.latency = time.Since(start)
+	return res
+}
+
+// phaseStats aggregates one phase's results.
+type phaseStats struct {
+	n, failed, hits, retries int
+	p50, p99                 time.Duration
+}
+
+func stats(results []result, phase string) phaseStats {
+	var st phaseStats
+	var lat []time.Duration
+	for _, r := range results {
+		if r.phase != phase {
+			continue
+		}
+		st.n++
+		st.retries += r.retries
+		if r.err != nil {
+			st.failed++
+			continue
+		}
+		if r.cacheHit {
+			st.hits++
+		}
+		lat = append(lat, r.latency)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	st.p50 = percentile(lat, 50)
+	st.p99 = percentile(lat, 99)
+	return st
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}
+
+// loadDoc renders the run as a report document: the phase table, plus
+// per-request failure lines as the text footer.
+type loadDoc struct {
+	results []result
+}
+
+// Table implements report.Doc.
+func (d loadDoc) Table() *report.Table { return table(d.results) }
+
+// TextFooter implements report.Footer with one line per failed
+// request.
+func (d loadDoc) TextFooter() string {
+	var sb strings.Builder
+	for _, r := range d.results {
+		if r.err != nil {
+			fmt.Fprintf(&sb, "FAILED %s/%s: %v\n", r.phase, r.scenario, r.err)
+		}
+	}
+	return sb.String()
+}
+
+func table(results []result) *report.Table {
+	t := &report.Table{
+		Title:   "loadtest",
+		Headers: []string{"phase", "requests", "failed", "cache hits", "hit rate", "429 retries", "p50", "p99"},
+	}
+	for _, phase := range []string{"cold", "warm"} {
+		st := stats(results, phase)
+		rate := 0.0
+		if ok := st.n - st.failed; ok > 0 {
+			rate = float64(st.hits) / float64(ok) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			phase,
+			fmt.Sprintf("%d", st.n),
+			fmt.Sprintf("%d", st.failed),
+			fmt.Sprintf("%d", st.hits),
+			fmt.Sprintf("%.1f%%", rate),
+			fmt.Sprintf("%d", st.retries),
+			st.p50.Round(time.Millisecond).String(),
+			st.p99.Round(time.Millisecond).String(),
+		})
+	}
+	return t
+}

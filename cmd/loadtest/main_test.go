@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mcmnpu/internal/api"
+	"mcmnpu/internal/sweep"
+)
+
+func TestLoadtestAgainstServer(t *testing.T) {
+	srv := api.NewServer(api.NewService(sweep.New(2)), api.ServerConfig{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	var out, errOut strings.Builder
+	args := []string{"-url", hs.URL, "-clients", "2", "-requests", "2"}
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"loadtest", "cold", "warm"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	// The warm phase replays the cold bodies, so every warm request must
+	// be a cache hit: its row reports a 100.0% hit rate.
+	warm := ""
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "warm") {
+			warm = line
+		}
+	}
+	if !strings.Contains(warm, "100.0%") {
+		t.Errorf("warm phase not fully cached: %q", warm)
+	}
+}
+
+func TestLoadtestFailingServer(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	var out, errOut strings.Builder
+	args := []string{"-url", hs.URL, "-clients", "1", "-requests", "1"}
+	if code := run(context.Background(), args, &out, &errOut); code != 1 {
+		t.Errorf("failing server should exit 1, got %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Errorf("failure lines missing:\n%s", out.String())
+	}
+}
+
+func TestLoadtestBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+	if code := run(context.Background(), []string{"-clients", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("zero clients should exit 2, got %d", code)
+	}
+}

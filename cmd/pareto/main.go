@@ -5,7 +5,9 @@
 // frontier is reported. Candidate x scenario lower bounds fan across a
 // worker pool and dominance pruning skips full streaming runs that
 // could never reach the frontier; the frontier is bit-for-bit identical
-// across worker counts.
+// across worker counts. The exploration executes through the
+// internal/api service — the same typed request path the cmd/serve
+// daemon speaks.
 //
 // Usage:
 //
@@ -17,7 +19,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,10 +26,9 @@ import (
 	"os/signal"
 	"strings"
 
-	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/api"
 	"mcmnpu/internal/prof"
 	"mcmnpu/internal/report"
-	"mcmnpu/internal/scenario"
 	"mcmnpu/internal/sweep"
 )
 
@@ -53,14 +53,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serial     = fs.Bool("serial", false, "evaluate in-line instead of through the pool")
 		noprune    = fs.Bool("noprune", false, "disable dominance-based early pruning")
 		top        = fs.Int("top", 0, "render the top-N frontier candidates ranked by objective product")
-		jsonOut    = fs.Bool("json", false, "emit the full report as JSON")
-		csvOut     = fs.Bool("csv", false, "emit the table as CSV")
-		outPath    = fs.String("o", "", "write output to a file instead of stdout")
-		force      = fs.Bool("force", false, "overwrite an existing -o file")
 		timeout    = fs.Duration("timeout", 0, "overall deadline (0 = none)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	var opts report.Options
+	opts.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,18 +78,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	specs, err := selectScenarios(*scenarios)
+	req, err := buildRequest(*scenarios, *meshes, *dataflows, *linkbw, *objectives,
+		*frames, *window, *top, *noprune)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	space, err := parseSpace(*meshes, *dataflows, *linkbw)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
-	}
-	objs, err := pareto.ParseObjectives(*objectives)
-	if err != nil {
+	if err := req.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
@@ -100,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// exploration: a stale artifact fails the run immediately instead of
 	// discarding a completed multi-minute exploration, and a typo in the
 	// flags never truncates an existing artifact under -force.
-	art, err := report.OpenArtifact(*outPath, *force, stdout)
+	art, err := opts.Open(stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -114,115 +107,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
-	opts := pareto.Options{
-		Scenarios:    specs,
-		Objectives:   objs,
-		Frames:       *frames,
-		WindowFrames: *window,
-		NoPrune:      *noprune,
-	}
+	var eng *sweep.Engine
 	if !*serial {
-		opts.Engine = sweep.New(*workers)
+		eng = sweep.New(*workers)
 	}
-	rep, err := pareto.Explore(ctx, space, opts)
+	resp, err := api.NewService(eng).Pareto(ctx, req)
 	if err != nil {
 		art.Abort()
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-
-	var jsonBytes []byte
-	if *jsonOut {
-		if jsonBytes, err = json.MarshalIndent(rep, "", "  "); err != nil {
-			art.Abort()
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-	}
-	err = art.Flush(func(w io.Writer) {
-		switch {
-		case *jsonOut:
-			fmt.Fprintln(w, string(jsonBytes))
-		case *csvOut:
-			fmt.Fprint(w, table(rep, *top).CSV())
-		default:
-			table(rep, *top).Render(w)
-			fmt.Fprintf(w, "%d candidates: %d evaluated, %d pruned, %d infeasible; frontier size %d\n",
-				len(rep.Evals), rep.Evaluated, rep.Pruned, rep.Infeasible, len(rep.Frontier))
-		}
-	})
-	if err != nil {
+	if err := opts.Emit(art, resp); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	return 0
 }
 
-func table(rep pareto.Report, top int) *report.Table {
-	if top > 0 {
-		return pareto.TopTable(rep, top)
+// buildRequest assembles the typed api request from the flag values.
+func buildRequest(scenarios, meshes, dataflows, linkbw, objectives string,
+	frames, window, top int, noprune bool) (*api.ParetoRequest, error) {
+	req := &api.ParetoRequest{
+		Scenarios:    splitList(scenarios),
+		Meshes:       splitList(meshes),
+		Dataflows:    splitList(dataflows),
+		Objectives:   splitList(objectives),
+		Frames:       frames,
+		WindowFrames: window,
+		Top:          top,
+		NoPrune:      noprune,
 	}
-	return pareto.FrontierTable(rep)
+	for _, f := range splitList(linkbw) {
+		var bw float64
+		if _, err := fmt.Sscanf(f, "%g", &bw); err != nil {
+			return nil, fmt.Errorf("pareto: malformed link bandwidth %q", f)
+		}
+		req.LinkBWGBs = append(req.LinkBWGBs, bw)
+	}
+	return req, nil
 }
 
-// selectScenarios resolves the -scenarios flag against the registry.
-func selectScenarios(csv string) ([]scenario.Spec, error) {
-	if csv == "all" {
-		return scenario.Registry(), nil
-	}
-	var specs []scenario.Spec
-	for _, name := range strings.Split(csv, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		sp, err := scenario.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, sp)
-	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("pareto: no scenarios selected")
-	}
-	return specs, nil
-}
-
-// parseSpace assembles the candidate space from the CLI flags (empty
-// flags keep the package defaults).
-func parseSpace(meshes, dataflows, linkbw string) (pareto.Space, error) {
-	var s pareto.Space
-	if meshes != "" {
-		m, err := pareto.ParseMeshes(meshes)
-		if err != nil {
-			return s, err
-		}
-		s.Meshes = m
-	}
-	if dataflows != "" {
-		for _, df := range strings.Split(dataflows, ",") {
-			df = strings.TrimSpace(df)
-			switch df {
-			case "OS", "WS":
-				s.Dataflows = append(s.Dataflows, df)
-			case "":
-			default:
-				return s, fmt.Errorf("pareto: unknown dataflow %q (want OS or WS)", df)
-			}
+// splitList parses a comma-separated flag into trimmed names.
+func splitList(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
 		}
 	}
-	if linkbw != "" {
-		for _, f := range strings.Split(linkbw, ",") {
-			f = strings.TrimSpace(f)
-			if f == "" {
-				continue
-			}
-			var bw float64
-			if _, err := fmt.Sscanf(f, "%g", &bw); err != nil || bw <= 0 {
-				return s, fmt.Errorf("pareto: malformed link bandwidth %q", f)
-			}
-			s.LinkBWGBs = append(s.LinkBWGBs, bw)
-		}
-	}
-	return s, nil
+	return out
 }

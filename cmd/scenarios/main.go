@@ -2,8 +2,10 @@
 // library through the streaming multi-frame runner: each scenario
 // compiles to a (workload, package, scheduler) bundle, is scheduled
 // once, and streams its frame budget through the event-driven simulator
-// in trace windows fanned across a worker pool. Results render as an
-// aligned table, JSON, or CSV.
+// in trace windows fanned across a worker pool. Requests execute
+// through the internal/api service — the same typed request path the
+// cmd/serve daemon speaks — and results render as an aligned table,
+// JSON, or CSV via internal/report.
 //
 // Usage:
 //
@@ -23,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 
+	"mcmnpu/internal/api"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/scenario"
 	"mcmnpu/internal/sweep"
@@ -47,31 +50,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		window   = fs.Int("window", 16, "trace-window size in frames")
 		workers  = fs.Int("workers", 0, "worker count for the window pool (0 = NumCPU)")
 		serial   = fs.Bool("serial", false, "stream windows in-line instead of through the pool")
-		jsonOut  = fs.Bool("json", false, "emit JSON")
-		csvOut   = fs.Bool("csv", false, "emit CSV")
-		outPath  = fs.String("o", "", "write -json/-csv output to a file instead of stdout")
-		force    = fs.Bool("force", false, "overwrite an existing -o file")
 		timeout  = fs.Duration("timeout", 0, "overall deadline (0 = none)")
 	)
+	var opts report.Options
+	opts.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if !*list && *runName == "" && !*all && *specFile == "" {
 		fs.Usage()
 		return 2
-	}
-
-	// The -o artifact opens after input validation but before any
-	// scenario runs: a stale artifact fails the run up front (never at
-	// the end of a long -all batch), and a typo in the flags never
-	// truncates an existing artifact under -force. emitOut flushes with
-	// write/close errors checked and returns the process exit code.
-	emitOut := func(a *report.Artifact, t *report.Table) int {
-		if err := a.Flush(func(w io.Writer) { emit(w, t, *jsonOut, *csvOut) }); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -88,15 +76,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "no scenario matches %q\n", *filter)
 			return 2
 		}
-		art, err := report.OpenArtifact(*outPath, *force, stdout)
+		art, err := opts.Open(stdout)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		return emitOut(art, scenario.ListTable(specs))
+		if err := opts.Emit(art, report.TableDoc{T: scenario.ListTable(specs)}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
-	var specs []scenario.Spec
+	// Assemble the typed api request the selection flags describe.
+	req := api.RunScenarioRequest{Frames: *frames, WindowFrames: *window}
 	switch {
 	case *specFile != "":
 		data, err := os.ReadFile(*specFile)
@@ -109,48 +102,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		specs = []scenario.Spec{sp}
+		req.Spec = &sp
 	case *runName != "":
-		sp, err := scenario.Lookup(*runName)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
-		specs = []scenario.Spec{sp}
+		req.Scenarios = []string{*runName}
 	default: // -all
-		specs = scenario.Filter(*filter)
+		specs := scenario.Filter(*filter)
 		if len(specs) == 0 {
 			fmt.Fprintf(stderr, "no scenario matches %q\n", *filter)
 			return 2
 		}
+		for _, sp := range specs {
+			req.Scenarios = append(req.Scenarios, sp.Name)
+		}
+	}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
-	art, err := report.OpenArtifact(*outPath, *force, stdout)
+	// The -o artifact opens after input validation but before any
+	// scenario runs: a stale artifact fails the run up front (never at
+	// the end of a long -all batch), and a typo in the flags never
+	// truncates an existing artifact under -force.
+	art, err := opts.Open(stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 
-	opts := scenario.RunOptions{Frames: *frames, WindowFrames: *window}
+	var eng *sweep.Engine
 	if !*serial {
-		opts.Engine = sweep.New(*workers)
+		eng = sweep.New(*workers)
 	}
-	results, err := scenario.RunAll(ctx, specs, opts)
+	resp, err := api.NewService(eng).RunScenario(ctx, &req)
 	if err != nil {
 		art.Abort()
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	return emitOut(art, scenario.ResultsTable(results))
-}
-
-func emit(w io.Writer, t *report.Table, asJSON, asCSV bool) {
-	switch {
-	case asJSON:
-		fmt.Fprintln(w, t.JSON())
-	case asCSV:
-		fmt.Fprint(w, t.CSV())
-	default:
-		t.Render(w)
+	if err := opts.Emit(art, resp); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	return 0
 }

@@ -2,8 +2,10 @@
 // design-space exploration (the paper's Table I search, fanned across
 // cores with a reduce identical to the serial scan) and a concurrent
 // multi-scenario experiment grid (camera count, temporal depth, NoP
-// bandwidth, mesh size, scheduler tolerance, DSE Lcstr). Reports render
-// as aligned text tables or JSON via internal/report.
+// bandwidth, mesh size, scheduler tolerance, DSE Lcstr). Both actions
+// execute through the internal/api service — the same typed request
+// path the cmd/serve daemon speaks — and reports render as aligned
+// text tables, JSON, or CSV via internal/report.
 package main
 
 import (
@@ -14,13 +16,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
-	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/api"
 	"mcmnpu/internal/prof"
 	"mcmnpu/internal/report"
 	"mcmnpu/internal/sweep"
-	"mcmnpu/internal/workloads"
 )
 
 func main() {
@@ -36,12 +36,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dseFlag := fs.Bool("dse", false, "parallel Table I design-space exploration")
 	grid := fs.Bool("grid", false, "concurrent multi-scenario experiment grid")
 	scenarios := fs.String("scenarios", "", "comma-separated scenario filter for -grid (default: all)")
-	lcstr := fs.Float64("lcstr", 85, "latency constraint for -dse (ms)")
-	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
+	lcstr := fs.Float64("lcstr", api.DefaultLcstrMs, "latency constraint for -dse (ms)")
 	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none)")
 	cacheStats := fs.Bool("cachestats", false, "print layer-cost cache hit/miss stats on exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	var opts report.Options
+	opts.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,6 +50,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*dseFlag && !*grid {
 		fs.Usage()
 		return 2
+	}
+
+	dseReq := api.DSERequest{LcstrMs: *lcstr}
+	gridReq := api.GridSweepRequest{Scenarios: splitList(*scenarios)}
+	if *dseFlag {
+		if err := dseReq.Validate(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *grid {
+		if err := gridReq.Validate(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
 	profiles, err := prof.Start(*cpuProfile, *memProfile)
@@ -62,6 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	// The -o artifact opens after input validation but before any
+	// computation, so a stale artifact fails the run up front.
+	art, err := opts.Open(stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -71,42 +95,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := sweep.New(*workers)
-	cfg := workloads.DefaultConfig()
+	svc := api.NewService(eng)
 
+	var docs []report.Doc
+	exit := 0
 	if *dseFlag {
-		start := time.Now()
-		r, err := experiments.TableIParallel(ctx, eng, cfg, *lcstr)
+		resp, err := svc.DSE(ctx, &dseReq)
 		if err != nil {
+			art.Abort()
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		emit(stdout, r.Table(), *jsonOut)
-		if !*jsonOut {
-			fmt.Fprintf(stdout, "(%d workers, %s)\n\n", eng.Workers(), time.Since(start).Round(time.Millisecond))
-		}
+		docs = append(docs, resp)
 	}
-
-	exit := 0
 	if *grid {
-		all := experiments.ShardedGrid(eng)
-		selected := filterScenarios(all, *scenarios)
-		if len(selected) == 0 {
-			fmt.Fprintf(stderr, "no scenario matches %q (have: %s)\n",
-				*scenarios, strings.Join(scenarioNames(all), ", "))
-			return 2
+		resp, err := svc.GridSweep(ctx, &gridReq)
+		if err != nil {
+			art.Abort()
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		results := eng.RunGridSharded(ctx, cfg, selected)
-		for _, r := range results {
-			if r.Err != nil {
-				fmt.Fprintf(stderr, "scenario %s: %v\n", r.Scenario, r.Err)
+		for _, g := range resp.Results {
+			if g.Err != "" {
+				fmt.Fprintf(stderr, "scenario %s: %s\n", g.Scenario, g.Err)
 				exit = 1
 				continue
 			}
-			emit(stdout, r.Table, *jsonOut)
-			if !*jsonOut {
-				fmt.Fprintf(stdout, "(scenario %s: %.1f ms work)\n\n", r.Scenario, r.ElapsedMs)
-			}
+			docs = append(docs, g)
 		}
+	}
+	if err := opts.Emit(art, docs...); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	printCacheStats(stderr, eng, *cacheStats)
 	return exit
@@ -114,9 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // printCacheStats reports the engine's layer-cost cache — since the
 // grid went through the sharded path, every evaluation of a run (DSE
-// explorations and all grid scenarios) memoizes there. The experiments
-// package's cache only serves its serial harness API (cmd/figures,
-// goldens), so it no longer appears here.
+// explorations and all grid scenarios) memoizes there.
 func printCacheStats(w io.Writer, eng *sweep.Engine, enabled bool) {
 	if !enabled {
 		return
@@ -131,35 +149,13 @@ func printCacheStats(w io.Writer, eng *sweep.Engine, enabled bool) {
 		s.Hits, s.Misses, pct, s.Entries)
 }
 
-func filterScenarios(all []sweep.ShardedScenario, filter string) []sweep.ShardedScenario {
-	if filter == "" {
-		return all
-	}
-	want := map[string]bool{}
-	for _, f := range strings.Split(filter, ",") {
-		want[strings.TrimSpace(f)] = true
-	}
-	var out []sweep.ShardedScenario
-	for _, s := range all {
-		if want[s.Name] {
-			out = append(out, s)
+// splitList parses a comma-separated flag into trimmed names.
+func splitList(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
 		}
 	}
 	return out
-}
-
-func scenarioNames(all []sweep.ShardedScenario) []string {
-	names := make([]string, len(all))
-	for i, s := range all {
-		names[i] = s.Name
-	}
-	return names
-}
-
-func emit(w io.Writer, t *report.Table, asJSON bool) {
-	if asJSON {
-		fmt.Fprintln(w, t.JSON())
-		return
-	}
-	t.Render(w)
 }

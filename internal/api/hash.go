@@ -1,0 +1,175 @@
+// Canonical request hashing: the content address of a result. A
+// request is serialized to canonical JSON — object keys sorted, number
+// text preserved — so the hash depends only on the request's semantic
+// content, never on struct field declaration order or the spelling of
+// the original JSON. The result cache key binds (kind, canonical
+// hash, seed, build version): identical requests on the same build
+// return identical cached bytes, and a rebuilt server never serves
+// stale results across versions.
+package api
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/scenario"
+)
+
+// CanonicalJSON returns v's canonical serialization: v is marshaled,
+// re-decoded with number text preserved (uint64 seeds survive intact),
+// and re-marshaled — Go marshals map keys in sorted order, so the
+// bytes are independent of struct field order.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	return json.Marshal(tree)
+}
+
+// Hash returns the SHA-256 hex digest of v's canonical JSON.
+func Hash(v any) (string, error) {
+	b, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum), nil
+}
+
+// ResultKey derives a result's content address from the request kind,
+// the canonical request hash, the trace seed, and the build version.
+// Seeds already embedded in a canonical spec make the hash unique on
+// their own; the explicit seed component keeps request-level seed
+// overrides addressable without re-canonicalizing.
+func ResultKey(kind, canonicalHash string, seed uint64, buildVersion string) string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s\x00%s\x00%d\x00%s", kind, canonicalHash, seed, buildVersion))
+	return fmt.Sprintf("%x", sum)
+}
+
+// BuildVersion identifies the running build for cache keying: the VCS
+// revision when the binary was built from a checkout (with a "-dirty"
+// suffix for modified trees), "dev" otherwise.
+func BuildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if dirty {
+		return rev + "-dirty"
+	}
+	return rev
+}
+
+// keyable is the canonical form each request reduces to before
+// hashing: the kind tag plus the fully resolved, defaulted payload.
+// Two requests that resolve to the same payload — a registry name vs
+// the identical inline spec, an omitted field vs its explicit default
+// — share a hash and therefore a cache entry.
+type keyable struct {
+	Kind    string `json:"kind"`
+	Payload any    `json:"payload"`
+}
+
+// canonicalPayload resolves req to the defaulted form its hash covers.
+func canonicalPayload(req Request) (payload any, seed uint64, err error) {
+	switch r := req.(type) {
+	case *RunScenarioRequest:
+		specs, err := r.resolve()
+		if err != nil {
+			return nil, 0, err
+		}
+		// Fold the request-level overrides into the specs: a request
+		// that spells out a spec's own defaults hashes identically to
+		// one that omits them.
+		for i := range specs {
+			if r.Frames > 0 {
+				specs[i].Frames = r.Frames
+			}
+		}
+		window := r.WindowFrames
+		if window <= 0 {
+			window = 16 // the runner's default window
+		}
+		return struct {
+			Specs        []scenario.Spec `json:"specs"`
+			WindowFrames int             `json:"window_frames"`
+		}{specs, window}, r.Seed, nil
+	case *GridSweepRequest:
+		return struct {
+			Scenarios []string `json:"scenarios"`
+		}{r.selected()}, 0, nil
+	case *DSERequest:
+		return struct {
+			LcstrMs float64 `json:"lcstr_ms"`
+		}{r.lcstr()}, 0, nil
+	case *ParetoRequest:
+		space, opts, err := r.resolve()
+		if err != nil {
+			return nil, 0, err
+		}
+		names := make([]string, 0, len(opts.Scenarios))
+		for _, sp := range opts.Scenarios {
+			names = append(names, sp.Name)
+		}
+		return struct {
+			Candidates []string `json:"candidates"`
+			Scenarios  []string `json:"scenarios"`
+			Objectives []string `json:"objectives"`
+			Frames     int      `json:"frames"`
+			Window     int      `json:"window_frames"`
+			Top        int      `json:"top"`
+			NoPrune    bool     `json:"no_prune"`
+		}{candidateNames(space), names, opts.Objectives,
+			opts.Frames, opts.WindowFrames, r.Top, r.NoPrune}, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("api: unhashable request kind %q", req.Kind())
+	}
+}
+
+// candidateNames enumerates the resolved candidate space by unique
+// name, which pins mesh/dataflow/bandwidth defaulting into the hash.
+func candidateNames(space pareto.Space) []string {
+	cands := space.Candidates()
+	names := make([]string, len(cands))
+	for i, c := range cands {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// RequestKey computes req's full result-cache key under the given
+// build version: ResultKey over the canonical payload hash.
+func RequestKey(req Request, buildVersion string) (string, error) {
+	payload, seed, err := canonicalPayload(req)
+	if err != nil {
+		return "", err
+	}
+	h, err := Hash(keyable{Kind: req.Kind(), Payload: payload})
+	if err != nil {
+		return "", err
+	}
+	return ResultKey(req.Kind(), h, seed, buildVersion), nil
+}

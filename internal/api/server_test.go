@@ -1,0 +1,434 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sweep"
+)
+
+// smallRun is the fast request the handler tests share.
+const smallRun = `{"scenarios":["urban-8cam"],"frames":8,"window_frames":4}`
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(NewService(sweep.New(2)), cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+func checkEnvelope(t *testing.T, payload []byte, kind string) RunResult {
+	t.Helper()
+	var env RunResult
+	if err := json.Unmarshal(payload, &env); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, payload)
+	}
+	if env.Version != Version {
+		t.Errorf("envelope version %q, want %q", env.Version, Version)
+	}
+	if env.Kind != kind {
+		t.Errorf("envelope kind %q, want %q", env.Kind, kind)
+	}
+	if len(env.Key) != 64 {
+		t.Errorf("envelope key %q is not a sha256 hex digest", env.Key)
+	}
+	return env
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, payload := post(t, hs.URL+"/v1/run", smallRun)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	if got := resp.Header.Get(VersionHeader); got != Version {
+		t.Errorf("%s header %q, want %q", VersionHeader, got, Version)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("X-Cache %q on first request, want miss", got)
+	}
+	checkEnvelope(t, payload, "run")
+	var full RunScenarioResponse
+	if err := json.Unmarshal(payload, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Results) != 1 || full.Results[0].Scenario != "urban-8cam" {
+		t.Errorf("unexpected results: %+v", full.Results)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, payload := post(t, hs.URL+"/v1/sweep", `{"scenarios":["tolerance"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	checkEnvelope(t, payload, "sweep")
+	var full GridSweepResponse
+	if err := json.Unmarshal(payload, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Results) != 1 || full.Results[0].Scenario != "tolerance" || full.Results[0].Err != "" {
+		t.Errorf("unexpected results: %+v", full.Results)
+	}
+	if full.Results[0].TableData == nil || len(full.Results[0].TableData.Rows) == 0 {
+		t.Error("grid result table missing")
+	}
+}
+
+func TestDSEEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, payload := post(t, hs.URL+"/v1/dse", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	checkEnvelope(t, payload, "dse")
+	var full DSEResponse
+	if err := json.Unmarshal(payload, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.LcstrMs != DefaultLcstrMs {
+		t.Errorf("lcstr %v, want default %v", full.LcstrMs, DefaultLcstrMs)
+	}
+	if full.TableData == nil || len(full.TableData.Rows) == 0 {
+		t.Error("DSE table missing")
+	}
+}
+
+func TestParetoEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, payload := post(t, hs.URL+"/v1/pareto",
+		`{"scenarios":["urban-8cam"],"frames":8,"window_frames":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	checkEnvelope(t, payload, "pareto")
+	var full ParetoResponse
+	if err := json.Unmarshal(payload, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Report.Frontier) == 0 {
+		t.Error("empty frontier")
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(hs.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	post(t, hs.URL+"/v1/run", smallRun)
+	resp, err = http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted < 1 {
+		t.Errorf("stats admitted %d, want >= 1", st.Admitted)
+	}
+	if st.ResultCache.Misses < 1 {
+		t.Errorf("stats result-cache misses %d, want >= 1", st.ResultCache.Misses)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	cases := []struct {
+		name string
+		path string
+		body string
+	}{
+		{"malformed json", "/v1/run", `{"scenarios":`},
+		{"unknown field", "/v1/run", `{"scenarios":["urban-8cam"],"framez":1}`},
+		{"unknown scenario", "/v1/run", `{"scenarios":["no-such"]}`},
+		{"unknown grid scenario", "/v1/sweep", `{"scenarios":["no-such"]}`},
+		{"no pareto scenarios", "/v1/pareto", `{}`},
+	}
+	for _, tc := range cases {
+		resp, payload := post(t, hs.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, payload)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(payload, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body missing: %s", tc.name, payload)
+		}
+	}
+}
+
+func TestVersionHeaderMismatch(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/run", strings.NewReader(smallRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(VersionHeader, "v99")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("version mismatch: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "v99") {
+		t.Errorf("error should name the offending version: %s", body)
+	}
+}
+
+// TestSaturation429 drives the watermark scheme deterministically: with
+// HighWatermark=1 and one request parked in flight, the next request is
+// rejected with 429 + Retry-After; once the first drains, admission
+// reopens.
+func TestSaturation429(t *testing.T) {
+	srv, hs := newTestServer(t, ServerConfig{HighWatermark: 1}) // low defaults to 0
+
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	srv.admittedHook = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(hs.URL+"/v1/run", "application/json", strings.NewReader(smallRun))
+		if err != nil {
+			t.Errorf("parked request: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			payload, _ := io.ReadAll(resp.Body)
+			t.Errorf("parked request failed: %d %s", resp.StatusCode, payload)
+		}
+	}()
+	<-entered
+
+	resp, payload := post(t, hs.URL+"/v1/run", `{"scenarios":["highway-5cam"],"frames":4,"window_frames":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429 (%s)", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	close(gate)
+	<-done
+	srv.admittedHook = nil
+
+	resp, payload = post(t, hs.URL+"/v1/run", smallRun)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("drained server still rejecting: %d %s", resp.StatusCode, payload)
+	}
+}
+
+// TestResultCacheHit: identical requests replay byte-identical bodies
+// with X-Cache: hit; a semantically identical request spelled
+// differently (explicit default window) hits the same entry.
+func TestResultCacheHit(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	first, firstBody := post(t, hs.URL+"/v1/run", smallRun)
+	if first.StatusCode != http.StatusOK || first.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first request: %d, X-Cache %q", first.StatusCode, first.Header.Get("X-Cache"))
+	}
+	second, secondBody := post(t, hs.URL+"/v1/run", smallRun)
+	if second.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second request X-Cache %q, want hit", second.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("cached body differs:\n first: %s\n second: %s", firstBody, secondBody)
+	}
+
+	respelled := `{"frames":8,"window_frames":4,"scenarios":["urban-8cam"]}`
+	third, thirdBody := post(t, hs.URL+"/v1/run", respelled)
+	if third.Header.Get("X-Cache") != "hit" {
+		t.Errorf("respelled request X-Cache %q, want hit", third.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(firstBody, thirdBody) {
+		t.Error("respelled request returned different bytes")
+	}
+
+	// A different seed is a different result.
+	fourth, _ := post(t, hs.URL+"/v1/run",
+		`{"scenarios":["urban-8cam"],"frames":8,"window_frames":4,"seed":9}`)
+	if fourth.Header.Get("X-Cache") != "miss" {
+		t.Errorf("seeded request X-Cache %q, want miss", fourth.Header.Get("X-Cache"))
+	}
+}
+
+// TestStreamingSweep: stream=true returns NDJSON progress — one
+// scenario event per grid scenario, then a done event whose aggregate
+// matches the batch endpoint's results.
+func TestStreamingSweep(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	resp, err := http.Post(hs.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"scenarios":["tolerance","cameras"],"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	var scenarios []string
+	var done *GridSweepResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev struct {
+			Type     string              `json:"type"`
+			Scenario *GridScenarioResult `json:"scenario"`
+			Response *GridSweepResponse  `json:"response"`
+			Error    string              `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		switch ev.Type {
+		case "scenario":
+			scenarios = append(scenarios, ev.Scenario.Scenario)
+		case "done":
+			done = ev.Response
+		case "error":
+			t.Fatalf("stream error: %s", ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Grid order, not request order.
+	if want := []string{"cameras", "tolerance"}; fmt.Sprint(scenarios) != fmt.Sprint(want) {
+		t.Errorf("streamed scenarios %v, want %v", scenarios, want)
+	}
+	if done == nil || len(done.Results) != 2 {
+		t.Fatalf("done event missing or incomplete: %+v", done)
+	}
+
+	// The batch path must agree bit-for-bit on the per-scenario tables.
+	_, batchBody := post(t, hs.URL+"/v1/sweep", `{"scenarios":["tolerance","cameras"]}`)
+	var batch GridSweepResponse
+	if err := json.Unmarshal(batchBody, &batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.Results {
+		sj, err := json.Marshal(done.Results[i].TableData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(batch.Results[i].TableData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("scenario %s: streamed table differs from batch", batch.Results[i].Scenario)
+		}
+	}
+}
+
+// TestConcurrentClientsMatchSerial is the determinism acceptance lock
+// for the service layer (run with -race by `make race`): concurrent
+// clients hammering one server get results bit-for-bit identical to a
+// serial in-process run.
+func TestConcurrentClientsMatchSerial(t *testing.T) {
+	serial, err := scenario.RunAll(context.Background(),
+		mustSpecs(t, "urban-8cam"), scenario.RunOptions{Frames: 8, WindowFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.ResultsTable(serial).JSON()
+
+	_, hs := newTestServer(t, ServerConfig{HighWatermark: 16})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/run", "application/json", strings.NewReader(smallRun))
+			if err != nil {
+				errs <- err
+				return
+			}
+			payload, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+				return
+			}
+			var full RunScenarioResponse
+			if err := json.Unmarshal(payload, &full); err != nil {
+				errs <- err
+				return
+			}
+			if got := scenario.ResultsTable(full.Results).JSON(); got != want {
+				errs <- fmt.Errorf("concurrent result diverged from serial:\n got: %s\nwant: %s", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func mustSpecs(t *testing.T, names ...string) []scenario.Spec {
+	t.Helper()
+	specs := make([]scenario.Spec, len(names))
+	for i, n := range names {
+		sp, err := scenario.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = sp
+	}
+	return specs
+}

@@ -1,0 +1,338 @@
+// The Service executes validated api requests against the simulation
+// engines and wraps every outcome in the RunResult envelope. It is the
+// single execution path behind both the HTTP daemon and the one-shot
+// CLIs: a server holds one Service for its whole lifetime (keeping the
+// interned cost tables and the engine's layer-cost cache warm across
+// requests), while a CLI builds one per invocation.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/report"
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sweep"
+	"mcmnpu/internal/workloads"
+)
+
+// Timings is the envelope's service-time breakdown.
+type Timings struct {
+	// ComputeMs is the wall time spent executing the request (cache
+	// hits on the server skip compute entirely and replay the original
+	// envelope, timings included).
+	ComputeMs float64 `json:"compute_ms"`
+}
+
+// CacheCounters reports the engine's layer-cost cache at response
+// time.
+type CacheCounters struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// RunResult is the common response envelope: contract version, request
+// kind, the result's content address, timings, and cost-cache
+// statistics. Every typed response embeds it.
+type RunResult struct {
+	Version   string        `json:"version"`
+	Kind      string        `json:"kind"`
+	Key       string        `json:"key"`
+	Timings   Timings       `json:"timings"`
+	CostCache CacheCounters `json:"cost_cache"`
+}
+
+// RunScenarioResponse carries the streaming runner's per-scenario
+// results.
+type RunScenarioResponse struct {
+	RunResult
+	Results []scenario.Result `json:"results"`
+}
+
+// Table implements report.Doc with the standard scenario results
+// table.
+func (r *RunScenarioResponse) Table() *report.Table {
+	return scenario.ResultsTable(r.Results)
+}
+
+// RenderJSON implements report.JSONer with the table's compact JSON —
+// the cmd/scenarios machine-readable format.
+func (r *RunScenarioResponse) RenderJSON() ([]byte, error) {
+	return []byte(r.Table().JSON()), nil
+}
+
+// GridScenarioResult is one grid scenario's outcome in a
+// GridSweepResponse. It renders itself as a report.Doc, so a grid
+// response emits one table per scenario.
+type GridScenarioResult struct {
+	Scenario  string        `json:"scenario"`
+	TableData *report.Table `json:"table,omitempty"`
+	WorkMs    float64       `json:"work_ms"`
+	Err       string        `json:"error,omitempty"`
+}
+
+// Table implements report.Doc.
+func (g GridScenarioResult) Table() *report.Table { return g.TableData }
+
+// RenderJSON implements report.JSONer with the table's compact JSON —
+// the cmd/sweep machine-readable format.
+func (g GridScenarioResult) RenderJSON() ([]byte, error) {
+	return []byte(g.TableData.JSON()), nil
+}
+
+// TextFooter implements report.Footer with the per-scenario work-time
+// line cmd/sweep prints under each table.
+func (g GridScenarioResult) TextFooter() string {
+	return fmt.Sprintf("(scenario %s: %.1f ms work)\n\n", g.Scenario, g.WorkMs)
+}
+
+// GridSweepResponse carries every selected grid scenario's outcome, in
+// grid order. Scenario failures are recorded per entry, not as a
+// request failure.
+type GridSweepResponse struct {
+	RunResult
+	Results []GridScenarioResult `json:"results"`
+}
+
+// Failed reports how many grid scenarios errored.
+func (r *GridSweepResponse) Failed() int {
+	n := 0
+	for _, g := range r.Results {
+		if g.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// DSEResponse carries the Table I exploration.
+type DSEResponse struct {
+	RunResult
+	LcstrMs   float64       `json:"lcstr_ms"`
+	Workers   int           `json:"workers"`
+	TableData *report.Table `json:"table"`
+}
+
+// Table implements report.Doc.
+func (r *DSEResponse) Table() *report.Table { return r.TableData }
+
+// RenderJSON implements report.JSONer with the table's compact JSON —
+// the cmd/sweep machine-readable format.
+func (r *DSEResponse) RenderJSON() ([]byte, error) {
+	return []byte(r.TableData.JSON()), nil
+}
+
+// TextFooter implements report.Footer with the workers/elapsed line
+// cmd/sweep prints under the DSE table.
+func (r *DSEResponse) TextFooter() string {
+	d := time.Duration(r.Timings.ComputeMs * float64(time.Millisecond)).Round(time.Millisecond)
+	return fmt.Sprintf("(%d workers, %s)\n\n", r.Workers, d)
+}
+
+// ParetoResponse carries the frontier report plus the requested
+// ranking depth.
+type ParetoResponse struct {
+	RunResult
+	Top    int           `json:"top"`
+	Report pareto.Report `json:"report"`
+}
+
+// Table implements report.Doc: the ranked top-N table when the request
+// asked for one, the full frontier otherwise.
+func (r *ParetoResponse) Table() *report.Table {
+	if r.Top > 0 {
+		return pareto.TopTable(r.Report, r.Top)
+	}
+	return pareto.FrontierTable(r.Report)
+}
+
+// RenderJSON implements report.JSONer with the indented frontier
+// report — the cmd/pareto machine-readable format.
+func (r *ParetoResponse) RenderJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Report, "", "  ")
+}
+
+// TextFooter implements report.Footer with cmd/pareto's summary line.
+func (r *ParetoResponse) TextFooter() string {
+	rep := r.Report
+	return fmt.Sprintf("%d candidates: %d evaluated, %d pruned, %d infeasible; frontier size %d\n",
+		len(rep.Evals), rep.Evaluated, rep.Pruned, rep.Infeasible, len(rep.Frontier))
+}
+
+// Service executes api requests. A nil engine runs everything
+// serially (the CLIs' -serial mode); a non-nil engine fans work across
+// its pool and memoizes layer costs in its cache across requests.
+type Service struct {
+	engine  *sweep.Engine
+	version string
+}
+
+// NewService wraps an engine (nil = serial execution) under the
+// current build version.
+func NewService(e *sweep.Engine) *Service {
+	return &Service{engine: e, version: BuildVersion()}
+}
+
+// Engine returns the service's engine (nil in serial mode).
+func (s *Service) Engine() *sweep.Engine { return s.engine }
+
+// Key returns req's result-cache content address under the service's
+// build version.
+func (s *Service) Key(req Request) (string, error) {
+	return RequestKey(req, s.version)
+}
+
+// envelope assembles the common response envelope for a completed
+// request.
+func (s *Service) envelope(req Request, start time.Time) RunResult {
+	key, err := s.Key(req)
+	if err != nil {
+		// Key errors surface in Validate; a validated request cannot
+		// fail here.
+		key = "unhashable"
+	}
+	env := RunResult{
+		Version: Version,
+		Kind:    req.Kind(),
+		Key:     key,
+		Timings: Timings{ComputeMs: float64(time.Since(start).Microseconds()) / 1e3},
+	}
+	if s.engine != nil {
+		st := s.engine.Cache().Stats()
+		env.CostCache = CacheCounters{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	}
+	return env
+}
+
+// RunScenario streams the request's scenarios through the multi-frame
+// runner.
+func (s *Service) RunScenario(ctx context.Context, req *RunScenarioRequest) (*RunScenarioResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	specs, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	opts := scenario.RunOptions{Frames: req.Frames, WindowFrames: req.WindowFrames, Engine: s.engine}
+	results, err := scenario.RunAll(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RunScenarioResponse{RunResult: s.envelope(req, start), Results: results}, nil
+}
+
+// gridEngine returns the engine grid/DSE work runs on: the service's,
+// or a single-worker engine for serial services (the sharded grid
+// needs a pool to dispatch through; one worker makes it serial).
+func (s *Service) gridEngine() *sweep.Engine {
+	if s.engine != nil {
+		return s.engine
+	}
+	return sweep.New(1)
+}
+
+// GridSweep runs the sharded experiment grid.
+func (s *Service) GridSweep(ctx context.Context, req *GridSweepRequest) (*GridSweepResponse, error) {
+	return s.gridSweep(ctx, req, nil)
+}
+
+// GridSweepStream runs the grid one scenario at a time (each scenario
+// still shards its points across the pool) and calls emit after every
+// completed scenario — the server's NDJSON progress path. The final
+// response aggregates the same results; per-scenario tables are
+// bit-for-bit identical to the batch path's.
+func (s *Service) GridSweepStream(ctx context.Context, req *GridSweepRequest, emit func(GridScenarioResult) error) (*GridSweepResponse, error) {
+	return s.gridSweep(ctx, req, emit)
+}
+
+func (s *Service) gridSweep(ctx context.Context, req *GridSweepRequest, emit func(GridScenarioResult) error) (*GridSweepResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	eng := s.gridEngine()
+	all := experiments.ShardedGrid(eng)
+	want := make(map[string]bool, len(req.Scenarios))
+	for _, n := range req.selected() {
+		want[n] = true
+	}
+	var selected []sweep.ShardedScenario
+	for _, sc := range all {
+		if want[sc.Name] {
+			selected = append(selected, sc)
+		}
+	}
+	start := time.Now()
+	cfg := workloads.DefaultConfig()
+	var results []GridScenarioResult
+	if emit == nil {
+		for _, r := range eng.RunGridSharded(ctx, cfg, selected) {
+			results = append(results, toGridResult(r))
+		}
+	} else {
+		for i := range selected {
+			rs := eng.RunGridSharded(ctx, cfg, selected[i:i+1])
+			g := toGridResult(rs[0])
+			results = append(results, g)
+			if err := emit(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	return &GridSweepResponse{RunResult: s.envelope(req, start), Results: results}, nil
+}
+
+func toGridResult(r sweep.GridResult) GridScenarioResult {
+	g := GridScenarioResult{Scenario: r.Scenario, TableData: r.Table, WorkMs: r.ElapsedMs}
+	if r.Err != nil {
+		g.Err = r.Err.Error()
+		g.TableData = nil
+	}
+	return g
+}
+
+// DSE runs the Table I design-space exploration.
+func (s *Service) DSE(ctx context.Context, req *DSERequest) (*DSEResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	eng := s.gridEngine()
+	start := time.Now()
+	res, err := experiments.TableIParallel(ctx, eng, workloads.DefaultConfig(), req.lcstr())
+	if err != nil {
+		return nil, err
+	}
+	return &DSEResponse{
+		RunResult: s.envelope(req, start),
+		LcstrMs:   req.lcstr(),
+		Workers:   eng.Workers(),
+		TableData: res.Table(),
+	}, nil
+}
+
+// Pareto runs the multi-objective exploration.
+func (s *Service) Pareto(ctx context.Context, req *ParetoRequest) (*ParetoResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	space, opts, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts.Engine = s.engine
+	start := time.Now()
+	rep, err := pareto.Explore(ctx, space, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ParetoResponse{RunResult: s.envelope(req, start), Top: req.Top, Report: rep}, nil
+}

@@ -1,0 +1,315 @@
+// Package api is the unified request/response contract in front of the
+// simulation engines: versioned, typed request structs with one strict
+// decoding path and one Validate() per type, a common RunResult
+// envelope carrying timings and cache statistics, and the Service that
+// executes requests against a shared sweep.Engine. The HTTP daemon
+// (cmd/serve, server.go) and the one-shot CLIs (cmd/scenarios,
+// cmd/sweep, cmd/pareto) both speak these types, so flag parsing,
+// validation and rendering exist once instead of per command — and a
+// request's canonical hash (hash.go) gives every result a stable
+// content address for the server's response cache.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"mcmnpu/internal/experiments"
+	"mcmnpu/internal/pareto"
+	"mcmnpu/internal/scenario"
+)
+
+// Version is the API contract version. It rides on every HTTP response
+// (and is checked against the request's VersionHeader when sent):
+// request field names, defaulting rules and response envelopes may
+// only change compatibly while this string stays "v1" — see
+// CONTRIBUTING.md for the evolution rules.
+const Version = "v1"
+
+// VersionHeader is the HTTP header carrying Version.
+const VersionHeader = "X-Api-Version"
+
+// Request is implemented by every request type: a stable kind tag
+// (part of the result cache key) and full validation.
+type Request interface {
+	Kind() string
+	Validate() error
+}
+
+// maxFrames bounds request-level frame overrides the same way
+// scenario.Spec bounds its frame budget.
+const maxFrames = 1 << 20
+
+// Decode strictly decodes JSON into req: unknown fields and trailing
+// content are rejected (typos in hand-written requests fail loudly,
+// exactly like scenario.ParseSpec), then req.Validate() runs. req must
+// be a pointer.
+func Decode(data []byte, req Request) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return fmt.Errorf("api: parsing %s request: %w", req.Kind(), err)
+	}
+	var extra any
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("api: trailing content after %s request object", req.Kind())
+	}
+	return req.Validate()
+}
+
+// RunScenarioRequest streams one or more scenarios through the
+// multi-frame runner. Exactly one of Scenarios (registry names) or
+// Spec (an inline scenario spec) selects the work.
+type RunScenarioRequest struct {
+	// Scenarios names registry entries, run in the given order.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Spec is an inline scenario (defaulted and validated like a -spec
+	// file).
+	Spec *scenario.Spec `json:"spec,omitempty"`
+	// Frames overrides every scenario's frame budget when positive.
+	Frames int `json:"frames,omitempty"`
+	// WindowFrames is the trace-window size (0 = the runner's default).
+	WindowFrames int `json:"window_frames,omitempty"`
+	// Seed overrides every scenario's trace seed when nonzero. It is an
+	// explicit component of the result cache key.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Kind implements Request.
+func (r *RunScenarioRequest) Kind() string { return "run" }
+
+// Validate implements Request: the scenario selection must resolve and
+// the overrides must be in range.
+func (r *RunScenarioRequest) Validate() error {
+	if _, err := r.resolve(); err != nil {
+		return err
+	}
+	if r.Frames < 0 || r.Frames > maxFrames {
+		return fmt.Errorf("api: frames %d out of range [0, %d]", r.Frames, maxFrames)
+	}
+	if r.WindowFrames < 0 || r.WindowFrames > maxFrames {
+		return fmt.Errorf("api: window_frames %d out of range [0, %d]", r.WindowFrames, maxFrames)
+	}
+	return nil
+}
+
+// resolve expands the selection into defaulted, validated specs with
+// the seed override applied.
+func (r *RunScenarioRequest) resolve() ([]scenario.Spec, error) {
+	if (len(r.Scenarios) == 0) == (r.Spec == nil) {
+		return nil, fmt.Errorf("api: run request needs exactly one of scenarios or spec")
+	}
+	var specs []scenario.Spec
+	if r.Spec != nil {
+		sp := r.Spec.WithDefaults()
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		specs = []scenario.Spec{sp}
+	} else {
+		specs = make([]scenario.Spec, len(r.Scenarios))
+		for i, name := range r.Scenarios {
+			sp, err := scenario.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = sp
+		}
+	}
+	if r.Seed != 0 {
+		for i := range specs {
+			specs[i].Seed = r.Seed
+		}
+	}
+	return specs, nil
+}
+
+// GridSweepRequest runs the sharded multi-scenario experiment grid.
+type GridSweepRequest struct {
+	// Scenarios filters the grid by name (empty = the whole grid).
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Stream asks the server for incremental NDJSON progress (one line
+	// per completed grid scenario) instead of a single response body.
+	// The one-shot CLI ignores it.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Kind implements Request.
+func (r *GridSweepRequest) Kind() string { return "sweep" }
+
+// Validate implements Request: every requested name must be a grid
+// scenario.
+func (r *GridSweepRequest) Validate() error {
+	have := experiments.GridScenarioNames()
+	known := make(map[string]bool, len(have))
+	for _, n := range have {
+		known[n] = true
+	}
+	for _, n := range r.Scenarios {
+		if !known[n] {
+			return fmt.Errorf("api: no scenario matches %q (have: %s)",
+				n, strings.Join(have, ", "))
+		}
+	}
+	return nil
+}
+
+// selected returns the resolved scenario name set in grid order (the
+// canonical form the cache key hashes).
+func (r *GridSweepRequest) selected() []string {
+	have := experiments.GridScenarioNames()
+	if len(r.Scenarios) == 0 {
+		return have
+	}
+	want := make(map[string]bool, len(r.Scenarios))
+	for _, n := range r.Scenarios {
+		want[n] = true
+	}
+	var out []string
+	for _, n := range have {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DefaultLcstrMs is the DSE latency constraint used when a request
+// leaves LcstrMs at 0 (the cmd/sweep default).
+const DefaultLcstrMs = 85
+
+// DSERequest runs the Table I design-space exploration.
+type DSERequest struct {
+	// LcstrMs is the latency constraint in ms (0 = DefaultLcstrMs).
+	LcstrMs float64 `json:"lcstr_ms,omitempty"`
+}
+
+// Kind implements Request.
+func (r *DSERequest) Kind() string { return "dse" }
+
+// Validate implements Request.
+func (r *DSERequest) Validate() error {
+	if r.LcstrMs < 0 || r.LcstrMs > 1e5 {
+		return fmt.Errorf("api: lcstr_ms %v out of range [0, 1e5]", r.LcstrMs)
+	}
+	return nil
+}
+
+// lcstr returns the defaulted constraint.
+func (r *DSERequest) lcstr() float64 {
+	if r.LcstrMs == 0 {
+		return DefaultLcstrMs
+	}
+	return r.LcstrMs
+}
+
+// ParetoRequest runs the multi-objective exploration.
+type ParetoRequest struct {
+	// Scenarios names registry entries ("all" selects the whole
+	// registry). Required.
+	Scenarios []string `json:"scenarios"`
+	// Meshes are candidate "WxH" meshes (empty = the default space).
+	Meshes []string `json:"meshes,omitempty"`
+	// Dataflows are candidate dataflows, "OS"/"WS" (empty = both).
+	Dataflows []string `json:"dataflows,omitempty"`
+	// LinkBWGBs are candidate NoP link bandwidths in GB/s (empty = the
+	// package default).
+	LinkBWGBs []float64 `json:"link_bw_gbs,omitempty"`
+	// Objectives selects the frontier dimensions (empty = all).
+	Objectives []string `json:"objectives,omitempty"`
+	// Frames / WindowFrames override the streaming runner per scenario.
+	Frames       int `json:"frames,omitempty"`
+	WindowFrames int `json:"window_frames,omitempty"`
+	// Top ranks the frontier by objective product and renders the best
+	// N rows (0 renders the whole frontier).
+	Top int `json:"top,omitempty"`
+	// NoPrune disables dominance-based early pruning.
+	NoPrune bool `json:"no_prune,omitempty"`
+}
+
+// Kind implements Request.
+func (r *ParetoRequest) Kind() string { return "pareto" }
+
+// Validate implements Request.
+func (r *ParetoRequest) Validate() error {
+	if _, _, err := r.resolve(); err != nil {
+		return err
+	}
+	if r.Frames < 0 || r.Frames > maxFrames {
+		return fmt.Errorf("api: frames %d out of range [0, %d]", r.Frames, maxFrames)
+	}
+	if r.WindowFrames < 0 || r.WindowFrames > maxFrames {
+		return fmt.Errorf("api: window_frames %d out of range [0, %d]", r.WindowFrames, maxFrames)
+	}
+	if r.Top < 0 {
+		return fmt.Errorf("api: top %d out of range", r.Top)
+	}
+	return nil
+}
+
+// resolve expands the request into the explorer's space and options
+// (options carry no engine; the service attaches one).
+func (r *ParetoRequest) resolve() (pareto.Space, pareto.Options, error) {
+	var space pareto.Space
+	var opts pareto.Options
+
+	specs, err := r.resolveScenarios()
+	if err != nil {
+		return space, opts, err
+	}
+	if len(r.Meshes) > 0 {
+		m, err := pareto.ParseMeshes(strings.Join(r.Meshes, ","))
+		if err != nil {
+			return space, opts, err
+		}
+		space.Meshes = m
+	}
+	for _, df := range r.Dataflows {
+		switch df {
+		case "OS", "WS":
+			space.Dataflows = append(space.Dataflows, df)
+		default:
+			return space, opts, fmt.Errorf("api: unknown dataflow %q (want OS or WS)", df)
+		}
+	}
+	for _, bw := range r.LinkBWGBs {
+		if bw <= 0 {
+			return space, opts, fmt.Errorf("api: link bandwidth %g out of range", bw)
+		}
+		space.LinkBWGBs = append(space.LinkBWGBs, bw)
+	}
+	objs, err := pareto.ParseObjectives(strings.Join(r.Objectives, ","))
+	if err != nil {
+		return space, opts, err
+	}
+	opts = pareto.Options{
+		Scenarios:    specs,
+		Objectives:   objs,
+		Frames:       r.Frames,
+		WindowFrames: r.WindowFrames,
+		NoPrune:      r.NoPrune,
+	}
+	return space, opts, nil
+}
+
+func (r *ParetoRequest) resolveScenarios() ([]scenario.Spec, error) {
+	if len(r.Scenarios) == 0 {
+		return nil, fmt.Errorf("api: pareto request needs at least one scenario")
+	}
+	if len(r.Scenarios) == 1 && r.Scenarios[0] == "all" {
+		return scenario.Registry(), nil
+	}
+	specs := make([]scenario.Spec, len(r.Scenarios))
+	for i, name := range r.Scenarios {
+		sp, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sp
+	}
+	return specs, nil
+}

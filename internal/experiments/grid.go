@@ -218,6 +218,19 @@ func ShardedGrid(e *sweep.Engine) []sweep.ShardedScenario {
 	}
 }
 
+// GridScenarioNames returns the sharded grid's scenario names in run
+// order — the vocabulary a grid-sweep request selects from. The
+// closures ShardedGrid builds are never invoked, so no engine is
+// needed.
+func GridScenarioNames() []string {
+	all := ShardedGrid(nil)
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // DefaultGrid returns the standard multi-scenario experiment grid: the
 // sweeps the paper varies one at a time (camera count, temporal queue
 // depth, NoP link parameters, mesh size, scheduler tolerance), the

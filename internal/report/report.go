@@ -78,11 +78,13 @@ func (a *Artifact) Flush(render func(io.Writer)) error {
 	return a.file.Close()
 }
 
-// Table is a simple column-aligned text table.
+// Table is a simple column-aligned text table. The JSON tags mirror
+// the Table.JSON rendering so a Table embedded in an API response
+// marshals with the same keys.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.

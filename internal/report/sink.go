@@ -1,0 +1,143 @@
+// The sink API: the one implementation of the -json/-csv/-o/-force
+// output flag cluster every CLI shares. A CLI binds Options onto its
+// flag set, opens the artifact early (so a stale -o path fails before
+// any long computation), and emits one or more Docs at the end; the
+// format precedence (JSON over CSV over text) and the artifact's
+// clobber/flush contract live here instead of being copied per command.
+package report
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Format selects the rendering of an emitted document.
+type Format int
+
+const (
+	// FormatText renders the aligned table (plus any text footer).
+	FormatText Format = iota
+	// FormatJSON renders one machine-readable JSON document per Doc,
+	// newline-terminated (NDJSON when several docs are emitted).
+	FormatJSON
+	// FormatCSV renders the table as CSV.
+	FormatCSV
+)
+
+// Options is the shared output flag cluster. The zero value renders
+// text to the fallback writer.
+type Options struct {
+	JSON  bool   // -json
+	CSV   bool   // -csv
+	Path  string // -o
+	Force bool   // -force
+}
+
+// Bind registers the -json/-csv/-o/-force cluster on fs.
+func (o *Options) Bind(fs *flag.FlagSet) {
+	fs.BoolVar(&o.JSON, "json", false, "emit JSON")
+	fs.BoolVar(&o.CSV, "csv", false, "emit CSV")
+	fs.StringVar(&o.Path, "o", "", "write output to a file instead of stdout")
+	fs.BoolVar(&o.Force, "force", false, "overwrite an existing -o file")
+}
+
+// Format resolves the selected format; -json wins over -csv.
+func (o Options) Format() Format {
+	switch {
+	case o.JSON:
+		return FormatJSON
+	case o.CSV:
+		return FormatCSV
+	default:
+		return FormatText
+	}
+}
+
+// Open resolves the -o artifact (empty path = the fallback writer)
+// with the CreateFile clobber contract. Call it after input validation
+// but before any long computation.
+func (o Options) Open(fallback io.Writer) (*Artifact, error) {
+	return OpenArtifact(o.Path, o.Force, fallback)
+}
+
+// Doc is one emittable result document. The table is the text and CSV
+// rendering; JSON defaults to the table's compact JSON object unless
+// the doc also implements JSONer.
+type Doc interface {
+	Table() *Table
+}
+
+// JSONer overrides a doc's machine rendering with pre-rendered bytes
+// (a newline is appended on emit). Docs whose canonical JSON is richer
+// than the table — a full typed report, an indented export — implement
+// this.
+type JSONer interface {
+	RenderJSON() ([]byte, error)
+}
+
+// Footer adds a trailing block after the table in text mode only
+// (timing lines, summary counts). The string is written verbatim;
+// include trailing newlines.
+type Footer interface {
+	TextFooter() string
+}
+
+// TableDoc adapts a bare table to the Doc interface.
+type TableDoc struct {
+	T *Table
+}
+
+// Table returns the wrapped table.
+func (d TableDoc) Table() *Table { return d.T }
+
+// Emit renders docs in o's format through the artifact and completes
+// it (flush + close, write errors surfaced). JSON marshal failures
+// abort the artifact before anything is written, so a failed emit
+// never leaves a truncated file behind.
+func (o Options) Emit(a *Artifact, docs ...Doc) error {
+	format := o.Format()
+	// Pre-render machine formats so a marshal error surfaces before the
+	// artifact flushes (and so text mode never pays for it).
+	payloads := make([][]byte, len(docs))
+	if format == FormatJSON {
+		for i, d := range docs {
+			b, err := renderJSON(d)
+			if err != nil {
+				a.Abort()
+				return err
+			}
+			payloads[i] = b
+		}
+	}
+	return a.Flush(func(w io.Writer) {
+		for i, d := range docs {
+			switch format {
+			case FormatJSON:
+				w.Write(payloads[i])
+				io.WriteString(w, "\n")
+			case FormatCSV:
+				if i > 0 {
+					io.WriteString(w, "\n")
+				}
+				io.WriteString(w, d.Table().CSV())
+			default:
+				d.Table().Render(w)
+				if f, ok := d.(Footer); ok {
+					io.WriteString(w, f.TextFooter())
+				}
+			}
+		}
+	})
+}
+
+func renderJSON(d Doc) ([]byte, error) {
+	if j, ok := d.(JSONer); ok {
+		return j.RenderJSON()
+	}
+	t := d.Table()
+	if t == nil {
+		return nil, fmt.Errorf("report: doc has no table to render")
+	}
+	return []byte(t.JSON()), nil
+}

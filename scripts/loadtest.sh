@@ -1,0 +1,61 @@
+#!/bin/sh
+# loadtest.sh — the serving lane: build cmd/serve and cmd/loadtest,
+# boot the daemon on a free port, drive the cold/warm load harness
+# through it, then shut the daemon down gracefully. Exits nonzero if
+# the daemon fails to start, any loadtest request fails, or the daemon
+# does not drain cleanly.
+set -u
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/serve" ./cmd/serve || exit 1
+go build -o "$workdir/loadtest" ./cmd/loadtest || exit 1
+
+"$workdir/serve" -addr 127.0.0.1:0 >"$workdir/serve.log" 2>&1 &
+pid=$!
+
+# Wait for the daemon to print its bound address.
+url=""
+tries=0
+while [ -z "$url" ]; do
+    url=$(sed -n 's|^serving on \(http://[^ ]*\).*|\1|p' "$workdir/serve.log" | head -n 1)
+    [ -n "$url" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve exited before reporting its address:" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve never reported its address:" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "daemon up at $url"
+"$workdir/loadtest" -url "$url" -clients 4 -requests 4
+code=$?
+
+# Graceful shutdown: SIGINT, then wait; a clean drain exits 0.
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+servecode=$?
+pid=""
+cat "$workdir/serve.log"
+
+if [ "$code" -ne 0 ]; then
+    echo "loadtest failed (exit $code)" >&2
+    exit "$code"
+fi
+if [ "$servecode" -ne 0 ]; then
+    echo "serve did not shut down cleanly (exit $servecode)" >&2
+    exit 1
+fi
