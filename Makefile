@@ -100,7 +100,7 @@ REQUIRE_BENCH = BenchmarkSweepGridParallel2,BenchmarkSweepGridParallel4,Benchmar
 # when the artifact was measured at fewer cores than the required
 # ratio needs — a single-core dev box cannot express a 4x speedup, so
 # only the multi-core CI runner actually enforces these numbers.
-SCALING_GATE = BenchmarkSweepGridSerial/BenchmarkSweepGridParallel8>=4,BenchmarkFrontierSweepSerial/BenchmarkFrontierSweepParallel8>=2.5,BenchmarkParetoExploreSerial/BenchmarkParetoExploreParallel8>=2.5
+SCALING_GATE = BenchmarkSweepGridSerial/BenchmarkSweepGridParallel8>=4,BenchmarkFrontierSweepSerial/BenchmarkFrontierSweepParallel8>=2.5,BenchmarkParetoExploreSerial/BenchmarkParetoExploreParallel8>=2.5,BenchmarkParetoEvolveSerial/BenchmarkParetoEvolveParallel8>=2.5
 
 # bench-json measures the working tree and distills the median ns/op
 # per benchmark into BENCH_<sha>.json via cmd/benchdiff.

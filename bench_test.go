@@ -460,6 +460,58 @@ func benchmarkParetoExplore(b *testing.B, workers int, key string) {
 	})
 }
 
+// BenchmarkParetoEvolve measures the evolutionary explorer on a
+// heterogeneous space enumeration cannot touch: {4x4, 6x6} meshes x
+// {OS, WS} x 4 chiplet types per position is ~9.4e21 design points, of
+// which a 30-generation run bounds and streams a few hundred unique
+// genomes.
+func BenchmarkParetoEvolve(b *testing.B) { benchmarkParetoEvolve(b, 0, "pareto-evolve") }
+
+// Evolutionary explorer scaling ladder: same seeded run at pinned
+// worker counts, fresh engine per iteration. The Serial/Parallel8
+// ratio feeds the bench-check scaling gate alongside the exhaustive
+// explorer's ladder.
+func BenchmarkParetoEvolveSerial(b *testing.B)    { benchmarkParetoEvolve(b, 1, "pareto-evolve-serial") }
+func BenchmarkParetoEvolveParallel8(b *testing.B) { benchmarkParetoEvolve(b, 8, "pareto-evolve-par8") }
+
+func benchmarkParetoEvolve(b *testing.B, workers int, key string) {
+	sp, err := scenario.Lookup("urban-8cam")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := pareto.Space{
+		Meshes:    []pareto.MeshDim{{W: 4, H: 4}, {W: 6, H: 6}},
+		Dataflows: []string{"OS", "WS"},
+		Types:     []string{"simba", "eco", "big", "bwopt"},
+	}
+	ctx := context.Background()
+	var rep pareto.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(workers) // fresh engine: cold cache each iteration
+		rep, err = pareto.Evolve(ctx, space, pareto.EvolveOptions{
+			Options: pareto.Options{
+				Scenarios:    []scenario.Spec{sp},
+				Frames:       4,
+				WindowFrames: 2,
+				Engine:       eng,
+			},
+			Generations: 30,
+			Population:  16,
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable(key, func() {
+		fmt.Printf("evolve: space %.3g, %d unique genomes (%d simulated, %d pruned, %d memo hits), frontier %d, hypervolume %.4g\n\n",
+			rep.Evolution.SpaceSize, len(rep.Evals), rep.Evaluated, rep.Pruned, rep.MemoHits,
+			len(rep.Frontier), rep.Evolution.Hypervolume)
+	})
+}
+
 // BenchmarkSchedulerOnly isolates Algorithm 1's own runtime (the paper
 // calls it a low-cost scheduling algorithm — this measures that claim).
 func BenchmarkSchedulerOnly(b *testing.B) {

@@ -9,12 +9,19 @@
 // internal/api service — the same typed request path the cmd/serve
 // daemon speaks.
 //
+// With -evolve the exhaustive enumeration is replaced by the
+// bound-seeded NSGA-II explorer, which adds the heterogeneous
+// per-chiplet type axis (-types) and searches spaces of 10^6+ design
+// points that enumeration cannot touch; the same seed produces a
+// byte-identical frontier at any worker count.
+//
 // Usage:
 //
 //	pareto -scenarios urban-8cam                       # frontier table
 //	pareto -scenarios urban-8cam,highway-5cam -top 5   # ranked top-5
 //	pareto -scenarios all -json -o frontier.json       # machine-readable export
 //	pareto -scenarios urban-8cam -meshes 4x4,6x6 -linkbw 100,200 -csv
+//	pareto -scenarios urban-8cam -evolve -types simba,eco,big -generations 30
 package main
 
 import (
@@ -53,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serial     = fs.Bool("serial", false, "evaluate in-line instead of through the pool")
 		noprune    = fs.Bool("noprune", false, "disable dominance-based early pruning")
 		top        = fs.Int("top", 0, "render the top-N frontier candidates ranked by objective product")
+		evolve     = fs.Bool("evolve", false, "search with bound-seeded NSGA-II instead of exhaustive enumeration")
+		types      = fs.String("types", "", "chiplet library types for the heterogeneous axis (e.g. simba,eco,big)")
+		gens       = fs.Int("generations", 0, "evolutionary generations (0 = default 30; requires -evolve)")
+		population = fs.Int("population", 0, "evolutionary population size (0 = default 24; requires -evolve)")
+		seed       = fs.Uint64("seed", 0, "evolutionary RNG seed (0 = default 1; requires -evolve)")
 		timeout    = fs.Duration("timeout", 0, "overall deadline (0 = none)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -84,6 +96,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	req.ChipletTypes = splitList(*types)
+	req.Evolve = *evolve
+	req.Generations = *gens
+	req.Population = *population
+	req.Seed = *seed
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

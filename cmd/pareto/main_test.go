@@ -80,6 +80,45 @@ func TestJSONSerialMatchesPool(t *testing.T) {
 	}
 }
 
+// TestEvolveJSONSerialMatchesPool locks the evolutionary path's CLI
+// determinism: same seed, serial vs pooled, byte-identical JSON — over
+// a 2^16-point heterogeneous space no enumeration could cover.
+func TestEvolveJSONSerialMatchesPool(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-scenarios", "urban-8cam", "-frames", "4", "-window", "2",
+			"-meshes", "4x4", "-dataflows", "OS", "-types", "simba,eco",
+			"-evolve", "-generations", "3", "-population", "6", "-seed", "7", "-json"}, extra...)
+	}
+	var serial, pooled, errOut strings.Builder
+	if code := run(args("-serial"), &serial, &errOut); code != 0 {
+		t.Fatalf("serial evolve failed: %s", errOut.String())
+	}
+	if code := run(args("-workers", "4"), &pooled, &errOut); code != 0 {
+		t.Fatalf("pooled evolve failed: %s", errOut.String())
+	}
+	if serial.String() != pooled.String() {
+		t.Errorf("pooled evolve JSON diverged from serial:\n serial: %s\n pooled: %s",
+			serial.String(), pooled.String())
+	}
+	var rep struct {
+		Frontier []struct {
+			Name string `json:"name"`
+		} `json:"frontier"`
+		Evolution *struct {
+			SpaceSize float64 `json:"space_size"`
+		} `json:"evolution"`
+	}
+	if err := json.Unmarshal([]byte(serial.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Error("empty evolved frontier")
+	}
+	if rep.Evolution == nil || rep.Evolution.SpaceSize != 65536 {
+		t.Errorf("evolution stats missing or wrong: %+v", rep.Evolution)
+	}
+}
+
 func TestOutputFileRefusesClobber(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "frontier.csv")
@@ -125,6 +164,9 @@ func TestBadInputs(t *testing.T) {
 		{"-scenarios", "urban-8cam", "-dataflows", "XY"},
 		{"-scenarios", "urban-8cam", "-linkbw", "-5"},
 		{"-scenarios", "urban-8cam", "-objectives", "edp"},
+		{"-scenarios", "urban-8cam", "-types", "nosuch"},
+		{"-scenarios", "urban-8cam", "-generations", "5"}, // requires -evolve
+		{"-scenarios", "urban-8cam", "-evolve", "-population", "1"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -26,6 +26,10 @@ func TestDecodeStrict(t *testing.T) {
 		{"valid pareto", `{"scenarios":["urban-8cam"]}`, &ParetoRequest{}, true},
 		{"pareto no scenarios", `{"meshes":["4x4"]}`, &ParetoRequest{}, false},
 		{"pareto bad dataflow", `{"scenarios":["urban-8cam"],"dataflows":["XY"]}`, &ParetoRequest{}, false},
+		{"valid evolve", `{"scenarios":["urban-8cam"],"evolve":true,"chiplet_types":["simba","eco"],"seed":7}`, &ParetoRequest{}, true},
+		{"evolve unknown type", `{"scenarios":["urban-8cam"],"evolve":true,"chiplet_types":["nosuch"]}`, &ParetoRequest{}, false},
+		{"evolve params without evolve", `{"scenarios":["urban-8cam"],"generations":5}`, &ParetoRequest{}, false},
+		{"evolve population of one", `{"scenarios":["urban-8cam"],"evolve":true,"population":1}`, &ParetoRequest{}, false},
 	}
 	for _, tc := range cases {
 		err := Decode([]byte(tc.data), tc.req)
@@ -49,6 +53,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"scenarios":["all"],"top":3}`), byte(3))
 	f.Add([]byte(`{"spec":{"name":"z","package":"mesh:4x4","camera_fps":15}}`), byte(0))
 	f.Add([]byte(`{"seed":18446744073709551615,"scenarios":["urban-8cam"]}`), byte(0))
+	f.Add([]byte(`{"scenarios":["urban-8cam"],"evolve":true,"chiplet_types":["eco*2","simba"],"generations":5,"population":8}`), byte(3))
 	f.Add([]byte(`{`), byte(0))
 	f.Add([]byte(`[]`), byte(2))
 

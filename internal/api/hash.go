@@ -134,6 +134,34 @@ func canonicalPayload(req Request) (payload any, seed uint64, err error) {
 		for _, sp := range opts.Scenarios {
 			names = append(names, sp.Name)
 		}
+		if r.Evolve {
+			// An evolve request's space cannot be enumerated (it may
+			// hold 10^6+ per-chiplet assignments), so the key hashes the
+			// resolved axes plus the defaulted evolution parameters; the
+			// RNG seed rides the key's explicit seed component.
+			s := space.WithDefaults()
+			meshes := make([]string, len(s.Meshes))
+			for i, m := range s.Meshes {
+				meshes[i] = m.String()
+			}
+			return struct {
+				Evolve      bool      `json:"evolve"`
+				Meshes      []string  `json:"meshes"`
+				Dataflows   []string  `json:"dataflows"`
+				LinkBWGBs   []float64 `json:"link_bw_gbs"`
+				Types       []string  `json:"types"`
+				Scenarios   []string  `json:"scenarios"`
+				Objectives  []string  `json:"objectives"`
+				Frames      int       `json:"frames"`
+				Window      int       `json:"window_frames"`
+				Top         int       `json:"top"`
+				NoPrune     bool      `json:"no_prune"`
+				Generations int       `json:"generations"`
+				Population  int       `json:"population"`
+			}{true, meshes, s.Dataflows, s.LinkBWGBs, s.Types, names, opts.Objectives,
+				opts.Frames, opts.WindowFrames, r.Top, r.NoPrune,
+				r.generations(), r.population()}, r.seed(), nil
+		}
 		return struct {
 			Candidates []string `json:"candidates"`
 			Scenarios  []string `json:"scenarios"`

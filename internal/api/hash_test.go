@@ -38,6 +38,8 @@ func TestRequestKeyGolden(t *testing.T) {
 		"sweep-all":    mustKey(t, &GridSweepRequest{}),
 		"dse-default":  mustKey(t, &DSERequest{}),
 		"pareto-urban": mustKey(t, &ParetoRequest{Scenarios: []string{"urban-8cam"}, Frames: 8, WindowFrames: 4}),
+		"pareto-evolve": mustKey(t, &ParetoRequest{Scenarios: []string{"urban-8cam"}, Frames: 8, WindowFrames: 4,
+			Evolve: true, ChipletTypes: []string{"simba", "eco"}}),
 	}
 	got, err := json.MarshalIndent(keys, "", "  ")
 	if err != nil {
@@ -92,6 +94,10 @@ func TestRequestKeyEquivalences(t *testing.T) {
 		{"stream flag does not change the result identity",
 			&GridSweepRequest{Scenarios: []string{"cameras"}},
 			&GridSweepRequest{Scenarios: []string{"cameras"}, Stream: true}},
+		{"evolve omitted vs explicit default parameters",
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true},
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true,
+				Generations: 30, Population: 24, Seed: 1}},
 	}
 	for _, tc := range cases {
 		if ka, kb := mustKey(t, tc.a), mustKey(t, tc.b); ka != kb {
@@ -129,6 +135,14 @@ func TestRequestKeyInequalities(t *testing.T) {
 		{"dse constraint", &DSERequest{LcstrMs: 85}, &DSERequest{LcstrMs: 90}},
 		{"pareto top", &ParetoRequest{Scenarios: []string{"urban-8cam"}},
 			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Top: 5}},
+		{"pareto chiplet types", &ParetoRequest{Scenarios: []string{"urban-8cam"}},
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, ChipletTypes: []string{"eco"}}},
+		{"evolve vs exhaustive", &ParetoRequest{Scenarios: []string{"urban-8cam"}},
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true}},
+		{"evolve seed", &ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true},
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true, Seed: 2}},
+		{"evolve generations", &ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true},
+			&ParetoRequest{Scenarios: []string{"urban-8cam"}, Evolve: true, Generations: 10}},
 	}
 	for _, tc := range cases {
 		if ka, kb := mustKey(t, tc.a), mustKey(t, tc.b); ka == kb {

@@ -137,6 +137,47 @@ func TestParetoEndpoint(t *testing.T) {
 	}
 }
 
+// TestParetoEvolveEndpoint drives the evolutionary explorer through
+// the daemon: a heterogeneous space far too large to enumerate, served
+// with evolution stats and a content-address key distinct from the
+// exhaustive request's.
+func TestParetoEvolveEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, ServerConfig{})
+	body := `{"scenarios":["urban-8cam"],"frames":4,"window_frames":2,` +
+		`"meshes":["4x4"],"dataflows":["OS"],"chiplet_types":["simba","eco"],` +
+		`"evolve":true,"generations":3,"population":6,"seed":7}`
+	resp, payload := post(t, hs.URL+"/v1/pareto", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	env := checkEnvelope(t, payload, "pareto")
+	var full ParetoResponse
+	if err := json.Unmarshal(payload, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Report.Frontier) == 0 {
+		t.Error("empty evolved frontier")
+	}
+	ev := full.Report.Evolution
+	if ev == nil || ev.Generations != 3 || ev.Population != 6 || ev.Seed != 7 {
+		t.Fatalf("evolution stats: %+v", ev)
+	}
+	if ev.SpaceSize != 65536 { // 2 types ^ 16 chiplets
+		t.Errorf("space size %g, want 65536", ev.SpaceSize)
+	}
+	if env.Key == "unhashable" {
+		t.Error("evolve request did not hash")
+	}
+	// Same space without evolve is a different result identity.
+	shared := ParetoRequest{Scenarios: []string{"urban-8cam"}, Frames: 4, WindowFrames: 2,
+		Meshes: []string{"4x4"}, Dataflows: []string{"OS"}, ChipletTypes: []string{"simba", "eco"}}
+	evolved := shared
+	evolved.Evolve, evolved.Generations, evolved.Population, evolved.Seed = true, 3, 6, 7
+	if mustKey(t, &shared) == mustKey(t, &evolved) {
+		t.Error("evolve and exhaustive requests share a cache key")
+	}
+}
+
 func TestHealthzAndStats(t *testing.T) {
 	_, hs := newTestServer(t, ServerConfig{})
 	resp, err := http.Get(hs.URL + "/v1/healthz")

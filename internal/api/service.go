@@ -157,11 +157,14 @@ func (r *ParetoResponse) RenderJSON() ([]byte, error) {
 	return json.MarshalIndent(r.Report, "", "  ")
 }
 
-// TextFooter implements report.Footer with cmd/pareto's summary line.
+// TextFooter implements report.Footer with cmd/pareto's summary line:
+// how many candidates were touched and how each was settled — full
+// streaming simulation, bound-based prune, memo absorption, or
+// infeasibility.
 func (r *ParetoResponse) TextFooter() string {
 	rep := r.Report
-	return fmt.Sprintf("%d candidates: %d evaluated, %d pruned, %d infeasible; frontier size %d\n",
-		len(rep.Evals), rep.Evaluated, rep.Pruned, rep.Infeasible, len(rep.Frontier))
+	return fmt.Sprintf("%d candidates: %d simulated, %d bound-pruned, %d memo-hit, %d infeasible; frontier size %d\n",
+		len(rep.Evals), rep.Evaluated, rep.Pruned, rep.MemoHits, rep.Infeasible, len(rep.Frontier))
 }
 
 // Service executes api requests. A nil engine runs everything
@@ -319,7 +322,10 @@ func (s *Service) DSE(ctx context.Context, req *DSERequest) (*DSEResponse, error
 	}, nil
 }
 
-// Pareto runs the multi-objective exploration.
+// Pareto runs the multi-objective exploration: exhaustive enumeration
+// by default, the bound-seeded evolutionary explorer when the request
+// asks for it (the only way to search a heterogeneous per-chiplet
+// space, which is far too large to enumerate).
 func (s *Service) Pareto(ctx context.Context, req *ParetoRequest) (*ParetoResponse, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -330,7 +336,12 @@ func (s *Service) Pareto(ctx context.Context, req *ParetoRequest) (*ParetoRespon
 	}
 	opts.Engine = s.engine
 	start := time.Now()
-	rep, err := pareto.Explore(ctx, space, opts)
+	var rep pareto.Report
+	if req.Evolve {
+		rep, err = pareto.Evolve(ctx, space, req.evolveOptions(opts))
+	} else {
+		rep, err = pareto.Explore(ctx, space, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"strings"
 
+	"mcmnpu/internal/chiplet"
 	"mcmnpu/internal/experiments"
 	"mcmnpu/internal/pareto"
 	"mcmnpu/internal/scenario"
@@ -219,6 +220,11 @@ type ParetoRequest struct {
 	// LinkBWGBs are candidate NoP link bandwidths in GB/s (empty = the
 	// package default).
 	LinkBWGBs []float64 `json:"link_bw_gbs,omitempty"`
+	// ChipletTypes names built-in chiplet library types (empty = the
+	// homogeneous simba package). The exhaustive explorer adds one
+	// uniform-type candidate per name; the evolutionary explorer
+	// searches every per-chiplet assignment over them.
+	ChipletTypes []string `json:"chiplet_types,omitempty"`
 	// Objectives selects the frontier dimensions (empty = all).
 	Objectives []string `json:"objectives,omitempty"`
 	// Frames / WindowFrames override the streaming runner per scenario.
@@ -229,6 +235,14 @@ type ParetoRequest struct {
 	Top int `json:"top,omitempty"`
 	// NoPrune disables dominance-based early pruning.
 	NoPrune bool `json:"no_prune,omitempty"`
+	// Evolve switches from exhaustive enumeration to the bound-seeded
+	// NSGA-II explorer — required for heterogeneous spaces too large to
+	// enumerate. Generations, Population and Seed tune it (0 = the
+	// explorer's defaults) and are rejected without Evolve.
+	Evolve      bool   `json:"evolve,omitempty"`
+	Generations int    `json:"generations,omitempty"`
+	Population  int    `json:"population,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
 }
 
 // Kind implements Request.
@@ -247,6 +261,15 @@ func (r *ParetoRequest) Validate() error {
 	}
 	if r.Top < 0 {
 		return fmt.Errorf("api: top %d out of range", r.Top)
+	}
+	if !r.Evolve && (r.Generations != 0 || r.Population != 0 || r.Seed != 0) {
+		return fmt.Errorf("api: generations/population/seed require evolve")
+	}
+	if r.Generations < 0 || r.Generations > pareto.MaxGenerations {
+		return fmt.Errorf("api: generations %d out of range [0, %d]", r.Generations, pareto.MaxGenerations)
+	}
+	if r.Population == 1 || r.Population < 0 || r.Population > pareto.MaxPopulation {
+		return fmt.Errorf("api: population %d out of range [2, %d] (0 = default)", r.Population, pareto.MaxPopulation)
 	}
 	return nil
 }
@@ -282,6 +305,12 @@ func (r *ParetoRequest) resolve() (pareto.Space, pareto.Options, error) {
 		}
 		space.LinkBWGBs = append(space.LinkBWGBs, bw)
 	}
+	for _, name := range r.ChipletTypes {
+		if _, err := chiplet.LookupType(name); err != nil {
+			return space, opts, fmt.Errorf("api: %w", err)
+		}
+	}
+	space.Types = r.ChipletTypes
 	objs, err := pareto.ParseObjectives(strings.Join(r.Objectives, ","))
 	if err != nil {
 		return space, opts, err
@@ -294,6 +323,43 @@ func (r *ParetoRequest) resolve() (pareto.Space, pareto.Options, error) {
 		NoPrune:      r.NoPrune,
 	}
 	return space, opts, nil
+}
+
+// evolveOptions assembles the evolutionary explorer's options from the
+// resolved base options, leaving zero fields to the explorer's
+// defaulting.
+func (r *ParetoRequest) evolveOptions(opts pareto.Options) pareto.EvolveOptions {
+	return pareto.EvolveOptions{
+		Options:     opts,
+		Generations: r.Generations,
+		Population:  r.Population,
+		Seed:        r.Seed,
+	}
+}
+
+// Defaulted evolution parameters — the canonical values the result
+// cache key hashes, so an omitted field and its explicit default share
+// a cache entry.
+
+func (r *ParetoRequest) generations() int {
+	if r.Generations == 0 {
+		return pareto.DefaultGenerations
+	}
+	return r.Generations
+}
+
+func (r *ParetoRequest) population() int {
+	if r.Population == 0 {
+		return pareto.DefaultPopulation
+	}
+	return r.Population
+}
+
+func (r *ParetoRequest) seed() uint64 {
+	if r.Seed == 0 {
+		return pareto.DefaultSeed
+	}
+	return r.Seed
 }
 
 func (r *ParetoRequest) resolveScenarios() ([]scenario.Spec, error) {

@@ -1,0 +1,684 @@
+// The evolutionary explorer: a deterministic, seeded NSGA-II loop over
+// the full heterogeneous design space — mesh shape x dataflow x link
+// bandwidth x per-chiplet type assignment — for spaces far too large to
+// enumerate. The initial population is seeded from the analytic
+// lower-bound frontier of the space's uniform-type corners; every
+// genome decodes to a content-keyed candidate name and a memo
+// guarantees no candidate is ever bounded or simulated twice; the
+// bound-dominance prune from the exhaustive explorer skips full
+// streaming runs for candidates that cannot reach the frontier.
+//
+// Determinism contract (the exhaustive explorer's, extended): all
+// randomness flows from one splitmix64 stream consumed only inside the
+// serial breeding loop; the parallel phases (bound fan-out, trace-window
+// streaming) write results by index and use no RNG. The report is
+// therefore bit-for-bit identical across worker counts and across
+// reruns with the same seed.
+package pareto
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcmnpu/internal/chiplet"
+	"mcmnpu/internal/scenario"
+)
+
+// Evolution defaults: a 30-generation, 24-individual run explores a
+// few hundred unique genomes — ample on million-point spaces relative
+// to the analytic bound's pruning power, and small enough for CI.
+const (
+	DefaultGenerations = 30
+	DefaultPopulation  = 24
+	DefaultSeed        = 1
+)
+
+// maxPopulation bounds request-supplied population sizes (and, with
+// generations, the evaluation budget).
+const (
+	MaxGenerations = 10000
+	MaxPopulation  = 4096
+)
+
+// Genetic-operator rates. Crossover recombines two tournament winners;
+// mutation then perturbs each axis independently, and each type gene
+// at ~1/genome-length so one type flip per child is the expected step.
+const (
+	crossoverRate = 0.9
+	axisMutation  = 0.2
+)
+
+// EvolveOptions tunes one evolutionary exploration. The embedded
+// Options carry the scenario set, objectives, frame budget and engine
+// exactly as for Explore.
+type EvolveOptions struct {
+	Options
+	// Generations is the number of breeding rounds (0 =
+	// DefaultGenerations).
+	Generations int
+	// Population is the population size (0 = DefaultPopulation).
+	Population int
+	// Seed drives the selection/crossover/mutation RNG (0 =
+	// DefaultSeed). Same seed, same frontier — at any worker count.
+	Seed uint64
+}
+
+// rng is a splitmix64 stream: the minimal deterministic generator
+// (same construction as internal/trace's). All evolve randomness comes
+// from one instance consumed serially.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// axes is the canonical (defaulted, deduplicated) axis value table a
+// genome indexes into.
+type axes struct {
+	meshes []MeshDim
+	dfs    []string
+	bws    []float64
+	types  []string
+}
+
+func newAxes(space Space) axes {
+	s := space.WithDefaults()
+	return axes{meshes: s.Meshes, dfs: s.Dataflows, bws: s.LinkBWGBs, types: s.Types}
+}
+
+// genome is one design point in index form: axis indices plus, when
+// the space has a type axis, one type index per chiplet (row-major,
+// sized for the genome's mesh).
+type genome struct {
+	mesh, df, bw int
+	types        []uint8
+}
+
+// candidate decodes the genome. Uniform type assignments collapse to
+// the single-name form so a genome that happens to be a grid corner
+// shares the corner's candidate name (and therefore its memo entry).
+func (ax axes) candidate(g genome) Candidate {
+	c := Candidate{Mesh: ax.meshes[g.mesh], Dataflow: ax.dfs[g.df], LinkBWGBs: ax.bws[g.bw]}
+	if len(g.types) > 0 {
+		names := make([]string, len(g.types))
+		for i, ti := range g.types {
+			names[i] = ax.types[ti]
+		}
+		c.Types = chiplet.CompressTypes(names)
+	}
+	return c
+}
+
+// uniform returns the genome of a grid corner: uniform type ti across
+// the mesh (ti < 0 for spaces without a type axis).
+func (ax axes) uniform(mi, dfi, bwi, ti int) genome {
+	g := genome{mesh: mi, df: dfi, bw: bwi}
+	if ti >= 0 {
+		n := ax.meshes[mi].W * ax.meshes[mi].H
+		g.types = make([]uint8, n)
+		for i := range g.types {
+			g.types[i] = uint8(ti)
+		}
+	}
+	return g
+}
+
+// random draws a uniformly random genome.
+func (ax axes) random(r *rng) genome {
+	g := genome{mesh: r.intn(len(ax.meshes)), df: r.intn(len(ax.dfs)), bw: r.intn(len(ax.bws))}
+	if len(ax.types) > 0 {
+		n := ax.meshes[g.mesh].W * ax.meshes[g.mesh].H
+		g.types = make([]uint8, n)
+		for i := range g.types {
+			g.types[i] = uint8(r.intn(len(ax.types)))
+		}
+	}
+	return g
+}
+
+// cbound is one candidate's aggregated analytic bound: the Eval
+// skeleton (lower bounds, PE counts, feasibility) plus the prepared
+// scenarios a surviving candidate streams on. Held only between the
+// bound fan-out and the serial decision for that candidate.
+type cbound struct {
+	e     Eval
+	preps []*scenario.Prepared
+}
+
+// evolver is one run's working state.
+type evolver struct {
+	ax         axes
+	opts       EvolveOptions
+	objectives []string
+	rng        rng
+
+	recs     map[string]*Eval  // genome name -> settled evaluation record
+	order    []string          // first-seen record order
+	bounds   map[string]cbound // names bounded but not yet decided
+	frontier Frontier
+
+	memoHits   int
+	simulated  int
+	pruned     int
+	infeasible int
+}
+
+// Evolve searches the space with seeded NSGA-II and returns a report
+// of every unique candidate it touched, with the realized frontier.
+//
+//perf:hot — the population loop multiplies candidate x scenario evaluations at scale
+func Evolve(ctx context.Context, space Space, opts EvolveOptions) (Report, error) {
+	objectives, err := resolveObjectives(opts.Options)
+	if err != nil {
+		return Report{}, err
+	}
+	if opts.Generations == 0 {
+		opts.Generations = DefaultGenerations
+	}
+	if opts.Population == 0 {
+		opts.Population = DefaultPopulation
+	}
+	if opts.Seed == 0 {
+		opts.Seed = DefaultSeed
+	}
+	if opts.Generations < 0 || opts.Generations > MaxGenerations {
+		return Report{}, fmt.Errorf("pareto: generations %d out of range [1, %d]", opts.Generations, MaxGenerations)
+	}
+	if opts.Population < 2 || opts.Population > MaxPopulation {
+		return Report{}, fmt.Errorf("pareto: population %d out of range [2, %d]", opts.Population, MaxPopulation)
+	}
+	ax := newAxes(space)
+	for _, t := range ax.types {
+		if _, err := chiplet.LookupType(t); err != nil {
+			return Report{}, fmt.Errorf("pareto: %w", err)
+		}
+	}
+
+	ev := &evolver{
+		ax:         ax,
+		opts:       opts,
+		objectives: objectives,
+		rng:        rng{state: opts.Seed},
+		recs:       map[string]*Eval{},
+		bounds:     map[string]cbound{},
+	}
+
+	pop, seeded, err := ev.seedPopulation(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := ev.evaluate(ctx, pop); err != nil {
+		return Report{}, err
+	}
+	for gen := 0; gen < opts.Generations; gen++ {
+		off := ev.breed(pop)
+		if err := ev.evaluate(ctx, off); err != nil {
+			return Report{}, err
+		}
+		pop = ev.selectNext(append(pop, off...))
+	}
+	return ev.report(space, seeded), nil
+}
+
+// seedPopulation builds generation 0: the analytic lower-bound
+// frontier of the space's uniform-type grid corners (cheapest designs
+// that could possibly win, realized first to maximize pruning), padded
+// to size with random genomes.
+func (ev *evolver) seedPopulation(ctx context.Context) ([]genome, int, error) {
+	type corner struct {
+		g    genome
+		name string
+	}
+	tis := []int{-1}
+	if len(ev.ax.types) > 0 {
+		tis = make([]int, len(ev.ax.types))
+		for ti := range ev.ax.types {
+			tis[ti] = ti
+		}
+	}
+	corners := make([]corner, 0, len(ev.ax.meshes)*len(ev.ax.dfs)*len(ev.ax.bws)*len(tis))
+	seen := map[string]bool{}
+	for mi := range ev.ax.meshes {
+		for dfi := range ev.ax.dfs {
+			for bwi := range ev.ax.bws {
+				for _, ti := range tis {
+					g := ev.ax.uniform(mi, dfi, bwi, ti)
+					n := ev.ax.candidate(g).Name()
+					if !seen[n] {
+						seen[n] = true
+						corners = append(corners, corner{g: g, name: n})
+					}
+				}
+			}
+		}
+	}
+	cands := make([]Candidate, len(corners))
+	for i, c := range corners {
+		cands[i] = ev.ax.candidate(c.g)
+	}
+	if err := ev.ensureBounds(ctx, cands); err != nil {
+		return nil, 0, err
+	}
+
+	var lb Frontier
+	for _, c := range corners {
+		cb, ok := ev.bounds[c.name]
+		if !ok || cb.e.Infeasible {
+			continue
+		}
+		lb.Add(Point{Name: c.name, Vec: objVec(ev.objectives, cb.e.LBLatMs, cb.e.LBEnergyJ, cb.e.PEs)})
+	}
+	byName := map[string]genome{}
+	for _, c := range corners {
+		byName[c.name] = c.g
+	}
+	pop := make([]genome, 0, ev.opts.Population)
+	for _, p := range lb.Points() {
+		if len(pop) == ev.opts.Population {
+			break
+		}
+		pop = append(pop, byName[p.Name])
+	}
+	seeded := len(pop)
+	for len(pop) < ev.opts.Population {
+		pop = append(pop, ev.ax.random(&ev.rng))
+	}
+	return pop, seeded, nil
+}
+
+// ensureBounds computes analytic bounds for every listed candidate not
+// already bounded or settled, fanning the candidate x scenario product
+// across the engine (results land by index; aggregation is a serial
+// loop in candidate order).
+func (ev *evolver) ensureBounds(ctx context.Context, cands []Candidate) error {
+	todo := make([]Candidate, 0, len(cands))
+	names := make([]string, 0, len(cands))
+	seen := map[string]bool{}
+	for _, c := range cands {
+		n := c.Name()
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if _, ok := ev.recs[n]; ok {
+			continue
+		}
+		if _, ok := ev.bounds[n]; ok {
+			continue
+		}
+		todo = append(todo, c)
+		names = append(names, n)
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	ns := len(ev.opts.Scenarios)
+	raw := make([]bound, len(todo)*ns)
+	eachPair := func(i int) error {
+		c, sp := todo[i/ns], ev.opts.Scenarios[i%ns]
+		raw[i] = lowerBound(c.Apply(sp), cacheOf(ev.opts.Engine))
+		return nil
+	}
+	if ev.opts.Engine != nil {
+		if err := ev.opts.Engine.Each(ctx, len(raw), eachPair); err != nil {
+			return err
+		}
+	} else {
+		for i := range raw {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			eachPair(i)
+		}
+	}
+	for ci, c := range todo {
+		cb := cbound{e: Eval{Candidate: c, Name: names[ci]}}
+		for si := 0; si < ns; si++ {
+			b := raw[ci*ns+si]
+			if b.err != nil {
+				cb.e.Infeasible = true
+				if cb.e.Reason == "" {
+					cb.e.Reason = b.err.Error()
+				}
+				continue
+			}
+			cb.e.Chiplets, cb.e.PEs = b.chips, b.pes
+			cb.e.LBLatMs = max(cb.e.LBLatMs, b.latMs)
+			cb.e.LBEnergyJ = max(cb.e.LBEnergyJ, b.energyJ)
+			cb.preps = append(cb.preps, b.prep)
+		}
+		ev.bounds[names[ci]] = cb
+	}
+	return nil
+}
+
+// evaluate settles every genome in gs: memo re-encounters are free,
+// fresh candidates are bounded (parallel), then decided and — when
+// their discounted bound is not already dominated — streamed (serial,
+// ascending bound order, exactly the exhaustive explorer's phase 2).
+func (ev *evolver) evaluate(ctx context.Context, gs []genome) error {
+	fresh := make([]Candidate, 0, len(gs))
+	batch := map[string]bool{}
+	for _, g := range gs {
+		c := ev.ax.candidate(g)
+		n := c.Name()
+		if _, ok := ev.recs[n]; ok || batch[n] {
+			ev.memoHits++
+			continue
+		}
+		batch[n] = true
+		fresh = append(fresh, c)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if err := ev.ensureBounds(ctx, fresh); err != nil {
+		return err
+	}
+	sort.Slice(fresh, func(a, b int) bool {
+		ea, eb := ev.bounds[fresh[a].Name()].e, ev.bounds[fresh[b].Name()].e
+		if ea.LBLatMs != eb.LBLatMs {
+			return ea.LBLatMs < eb.LBLatMs
+		}
+		if ea.LBEnergyJ != eb.LBEnergyJ {
+			return ea.LBEnergyJ < eb.LBEnergyJ
+		}
+		if ea.PEs != eb.PEs {
+			return ea.PEs < eb.PEs
+		}
+		return ea.Name < eb.Name
+	})
+	ropts := scenario.RunOptions{
+		Frames:       ev.opts.Frames,
+		WindowFrames: ev.opts.WindowFrames,
+		Engine:       ev.opts.Engine,
+	}
+	for _, c := range fresh {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := c.Name()
+		cb := ev.bounds[n]
+		delete(ev.bounds, n)
+		e := cb.e
+		if e.Infeasible {
+			ev.infeasible++
+			ev.record(n, e)
+			continue
+		}
+		lbVec := objVec(ev.objectives, e.LBLatMs*lbSafety, e.LBEnergyJ, e.PEs)
+		if !ev.opts.NoPrune && ev.frontier.DominatedBy(lbVec) {
+			e.Pruned = true
+			ev.pruned++
+			ev.record(n, e)
+			continue
+		}
+		for _, prep := range cb.preps {
+			r, err := prep.Run(ctx, ropts)
+			if err != nil {
+				return fmt.Errorf("pareto evolve %s: %w", n, err)
+			}
+			e.P99Ms = max(e.P99Ms, r.P99Ms)
+			e.EnergyJ = max(e.EnergyJ, r.EnergyPerFrameJ)
+		}
+		ev.simulated++
+		ev.frontier.Add(Point{Name: n, Vec: objVec(ev.objectives, e.P99Ms, e.EnergyJ, e.PEs)})
+		ev.record(n, e)
+	}
+	return nil
+}
+
+func (ev *evolver) record(name string, e Eval) {
+	ev.recs[name] = &e
+	ev.order = append(ev.order, name)
+}
+
+// fitness returns the ranking vector of a settled candidate: the
+// realized objective point when simulated, the safety-discounted bound
+// when pruned (optimistic, but only used to order the breeding pool —
+// pruned genomes still never enter the frontier), nil when infeasible.
+func (ev *evolver) fitness(name string) []float64 {
+	e := ev.recs[name]
+	switch {
+	case e.Infeasible:
+		return nil
+	case e.Pruned:
+		return objVec(ev.objectives, e.LBLatMs*lbSafety, e.LBEnergyJ, e.PEs)
+	default:
+		return objVec(ev.objectives, e.P99Ms, e.EnergyJ, e.PEs)
+	}
+}
+
+// indivs decorates genomes with their names and fitness vectors.
+func (ev *evolver) indivs(gs []genome) []indiv {
+	out := make([]indiv, len(gs))
+	for i, g := range gs {
+		n := ev.ax.candidate(g).Name()
+		out[i] = indiv{g: g, name: n, vec: ev.fitness(n)}
+	}
+	return out
+}
+
+// breed produces one offspring generation: binary tournaments on
+// (rank, crowding), per-axis crossover, per-axis and per-gene
+// mutation. Runs serially on the evolver's single RNG stream.
+func (ev *evolver) breed(pop []genome) []genome {
+	inds := ev.indivs(pop)
+	fronts := nondominatedFronts(inds)
+	rank := ranks(inds, fronts)
+	crowd := make([]float64, len(inds))
+	for _, f := range fronts {
+		for i, d := range crowdingDistances(inds, f) {
+			if d != 0 {
+				crowd[i] = d
+			}
+		}
+	}
+	pick := func() genome {
+		i, j := ev.rng.intn(len(inds)), ev.rng.intn(len(inds))
+		if better(inds[i], inds[j], rank[i], rank[j], crowd[i], crowd[j]) {
+			return inds[i].g
+		}
+		return inds[j].g
+	}
+	off := make([]genome, 0, len(pop))
+	for len(off) < len(pop) {
+		a, b := pick(), pick()
+		child := a
+		if ev.rng.float() < crossoverRate {
+			child = ev.crossover(a, b)
+		} else {
+			child = cloneGenome(child)
+		}
+		ev.mutate(&child)
+		off = append(off, child)
+	}
+	return off
+}
+
+func cloneGenome(g genome) genome {
+	g.types = append([]uint8(nil), g.types...)
+	return g
+}
+
+// crossover mixes two parents axis-by-axis. The mesh donor also
+// donates the type-assignment length; positions the other parent also
+// covers then swap in with a coin flip each (uniform crossover on the
+// shared prefix).
+func (ev *evolver) crossover(a, b genome) genome {
+	child := cloneGenome(a)
+	other := b
+	if ev.rng.intn(2) == 1 {
+		child = cloneGenome(b)
+		other = a
+	}
+	if ev.rng.intn(2) == 1 {
+		child.df = other.df
+	}
+	if ev.rng.intn(2) == 1 {
+		child.bw = other.bw
+	}
+	for i := range child.types {
+		if i < len(other.types) && ev.rng.intn(2) == 1 {
+			child.types[i] = other.types[i]
+		}
+	}
+	return child
+}
+
+// mutate perturbs the genome in place: each scalar axis resamples with
+// probability axisMutation (a mesh change re-sizes the type assignment,
+// preserving the shared prefix), and each type gene flips with
+// probability 1/len so the expected step is one flip.
+func (ev *evolver) mutate(g *genome) {
+	if len(ev.ax.meshes) > 1 && ev.rng.float() < axisMutation {
+		g.mesh = ev.rng.intn(len(ev.ax.meshes))
+		if len(ev.ax.types) > 0 {
+			n := ev.ax.meshes[g.mesh].W * ev.ax.meshes[g.mesh].H
+			types := make([]uint8, n)
+			for i := range types {
+				if i < len(g.types) {
+					types[i] = g.types[i]
+				} else {
+					types[i] = uint8(ev.rng.intn(len(ev.ax.types)))
+				}
+			}
+			g.types = types
+		}
+	}
+	if len(ev.ax.dfs) > 1 && ev.rng.float() < axisMutation {
+		g.df = ev.rng.intn(len(ev.ax.dfs))
+	}
+	if len(ev.ax.bws) > 1 && ev.rng.float() < axisMutation {
+		g.bw = ev.rng.intn(len(ev.ax.bws))
+	}
+	if len(ev.ax.types) > 1 && len(g.types) > 0 {
+		pm := 1.0 / float64(len(g.types))
+		for i := range g.types {
+			if ev.rng.float() < pm {
+				g.types[i] = uint8(ev.rng.intn(len(ev.ax.types)))
+			}
+		}
+	}
+}
+
+// selectNext is NSGA-II environmental selection: non-dominated sort of
+// the combined parent+offspring pool, whole fronts admitted while they
+// fit, the cut front truncated by crowding distance.
+func (ev *evolver) selectNext(combined []genome) []genome {
+	inds := ev.indivs(combined)
+	fronts := nondominatedFronts(inds)
+	p := ev.opts.Population
+	next := make([]genome, 0, p)
+	for _, f := range fronts {
+		if len(next)+len(f) <= p {
+			for _, i := range f {
+				next = append(next, inds[i].g)
+			}
+			if len(next) == p {
+				break
+			}
+			continue
+		}
+		crowd := crowdingDistances(inds, f)
+		cut := append(make([]int, 0, len(f)), f...) //lint:allow hotpathalloc -- allocated for the single truncated front (the loop breaks right after); selection cost is noise next to the gated simulations
+		sort.SliceStable(cut, func(a, b int) bool {
+			if crowd[cut[a]] != crowd[cut[b]] {
+				return crowd[cut[a]] > crowd[cut[b]]
+			}
+			return inds[cut[a]].name < inds[cut[b]].name
+		})
+		for _, i := range cut[:p-len(next)] {
+			next = append(next, inds[i].g)
+		}
+		break
+	}
+	return next
+}
+
+// report assembles the final Report: every settled candidate in
+// first-seen order, the realized frontier in canonical order, and the
+// evolution header with the frontier's hypervolume (reference point:
+// 1.05x the componentwise worst simulated objective values).
+func (ev *evolver) report(space Space, seeded int) Report {
+	rep := Report{
+		Objectives: ev.objectives,
+		Evaluated:  ev.simulated,
+		Pruned:     ev.pruned,
+		Infeasible: ev.infeasible,
+		MemoHits:   ev.memoHits,
+	}
+	for _, sp := range ev.opts.Scenarios {
+		rep.Scenarios = append(rep.Scenarios, sp.Name)
+	}
+	on := map[string]bool{}
+	for _, p := range ev.frontier.Points() {
+		on[p.Name] = true
+	}
+	rep.Evals = make([]Eval, 0, len(ev.order))
+	for _, n := range ev.order {
+		e := *ev.recs[n]
+		e.OnFrontier = on[n]
+		rep.Evals = append(rep.Evals, e)
+	}
+	byName := map[string]Eval{}
+	for _, e := range rep.Evals {
+		byName[e.Name] = e
+	}
+	for _, p := range ev.frontier.Points() {
+		rep.Frontier = append(rep.Frontier, byName[p.Name])
+	}
+
+	var ref []float64
+	pts := make([][]float64, 0, ev.frontier.Len())
+	for _, n := range ev.order {
+		e := ev.recs[n]
+		if e.Infeasible || e.Pruned {
+			continue
+		}
+		v := objVec(ev.objectives, e.P99Ms, e.EnergyJ, e.PEs)
+		if ref == nil {
+			ref = append([]float64(nil), v...)
+			continue
+		}
+		for i := range ref {
+			ref[i] = max(ref[i], v[i])
+		}
+	}
+	for i := range ref {
+		ref[i] *= 1.05
+	}
+	for _, p := range ev.frontier.Points() {
+		pts = append(pts, p.Vec)
+	}
+	rep.Evolution = &Evolution{
+		Generations: ev.opts.Generations,
+		Population:  ev.opts.Population,
+		Seed:        ev.opts.Seed,
+		SpaceSize:   space.Size(),
+		Seeded:      seeded,
+		Hypervolume: Hypervolume(pts, ref),
+	}
+	return rep
+}
+
+// FrontierSignature renders a report's frontier as one canonical
+// string (name@vector per point) — what the determinism tests compare
+// byte-for-byte across worker counts.
+func FrontierSignature(rep Report) string {
+	var b strings.Builder
+	for _, e := range rep.Frontier {
+		fmt.Fprintf(&b, "%s@p99=%.17g,e=%.17g,pes=%d\n", e.Name, e.P99Ms, e.EnergyJ, e.PEs)
+	}
+	return b.String()
+}

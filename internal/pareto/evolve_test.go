@@ -1,0 +1,305 @@
+package pareto
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mcmnpu/internal/scenario"
+	"mcmnpu/internal/sweep"
+)
+
+// evolveTestOpts is the shared small-budget configuration: one registry
+// scenario at a reduced frame budget so full streaming runs stay cheap.
+func evolveTestOpts(t *testing.T) Options {
+	t.Helper()
+	sp, err := scenario.Lookup("urban-8cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Scenarios:    []scenario.Spec{sp},
+		Frames:       4,
+		WindowFrames: 2,
+	}
+}
+
+// TestEvolveOracleSmallSpaces is the convergence property test: on
+// every enumerable heterogeneous space, each point the evolved frontier
+// reports must be non-dominated with respect to the brute-force oracle
+// frontier, and its realized objectives must agree bit-for-bit with the
+// oracle's evaluation of the same candidate.
+func TestEvolveOracleSmallSpaces(t *testing.T) {
+	spaces := []Space{
+		{Meshes: []MeshDim{{2, 1}}, Dataflows: []string{"OS"}, Types: []string{"simba", "eco"}},
+		{Meshes: []MeshDim{{2, 1}, {2, 2}}, Dataflows: []string{"OS"}, Types: []string{"simba", "eco"}},
+		{Meshes: []MeshDim{{2, 2}}, Dataflows: []string{"OS", "WS"}, Types: []string{"eco", "big"}},
+	}
+	ctx := context.Background()
+	for _, space := range spaces {
+		opts := evolveTestOpts(t)
+		cands, err := space.EnumerateTyped(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.NoPrune = true
+		oracle, err := ExploreCandidates(ctx, cands, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]Eval{}
+		for _, e := range oracle.Evals {
+			byName[e.Name] = e
+		}
+
+		opts.NoPrune = false
+		rep, err := Evolve(ctx, space, EvolveOptions{
+			Options:     opts,
+			Generations: 8,
+			Population:  8,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Frontier) == 0 {
+			t.Fatalf("space %g: empty evolved frontier", space.Size())
+		}
+		for _, e := range rep.Frontier {
+			oe, ok := byName[e.Name]
+			if !ok {
+				t.Errorf("evolved frontier point %s outside the enumerated space", e.Name)
+				continue
+			}
+			if oe.P99Ms != e.P99Ms || oe.EnergyJ != e.EnergyJ || oe.PEs != e.PEs {
+				t.Errorf("%s: evolved objectives (%.9g, %.9g, %d) != oracle (%.9g, %.9g, %d)",
+					e.Name, e.P99Ms, e.EnergyJ, e.PEs, oe.P99Ms, oe.EnergyJ, oe.PEs)
+			}
+			ev := objVec(rep.Objectives, e.P99Ms, e.EnergyJ, e.PEs)
+			for _, of := range oracle.Frontier {
+				ov := objVec(oracle.Objectives, of.P99Ms, of.EnergyJ, of.PEs)
+				if Dominates(ov, ev) {
+					t.Errorf("evolved frontier point %s dominated by oracle point %s", e.Name, of.Name)
+				}
+			}
+		}
+		if got := rep.Evaluated + rep.Pruned + rep.Infeasible; got != len(rep.Evals) {
+			t.Errorf("accounting: evaluated %d + pruned %d + infeasible %d != %d records",
+				rep.Evaluated, rep.Pruned, rep.Infeasible, len(rep.Evals))
+		}
+	}
+}
+
+// TestEvolveDeterministicAcrossWorkers is the evolutionary determinism
+// lock: the same seed produces byte-identical reports serially and at
+// 1, 2 and 8 workers, and across repeated runs. Runs under -race by
+// `make race`.
+func TestEvolveDeterministicAcrossWorkers(t *testing.T) {
+	space := Space{
+		Meshes:    []MeshDim{{2, 2}, {3, 2}},
+		Dataflows: []string{"OS", "WS"},
+		Types:     []string{"simba", "eco", "big"},
+	}
+	ctx := context.Background()
+	run := func(engine *sweep.Engine) (Report, string) {
+		opts := evolveTestOpts(t)
+		opts.Engine = engine
+		rep, err := Evolve(ctx, space, EvolveOptions{
+			Options:     opts,
+			Generations: 4,
+			Population:  8,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, string(b)
+	}
+	serialRep, want := run(nil)
+	if sig := FrontierSignature(serialRep); sig == "" {
+		t.Fatal("empty frontier signature")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		rep, got := run(sweep.New(workers))
+		if got != want {
+			t.Errorf("%d-worker run diverged from serial:\n got: %s\nwant: %s", workers, got, want)
+		}
+		if FrontierSignature(rep) != FrontierSignature(serialRep) {
+			t.Errorf("%d-worker frontier signature diverged", workers)
+		}
+	}
+	if _, again := run(nil); again != want {
+		t.Error("repeated serial run diverged")
+	}
+}
+
+// TestEvolveSeedChangesTrajectory: different seeds are allowed (and on
+// a large space expected) to explore different genome sets. This guards
+// against the RNG being accidentally ignored.
+func TestEvolveSeedChangesTrajectory(t *testing.T) {
+	space := Space{
+		Meshes:    []MeshDim{{3, 3}},
+		Dataflows: []string{"OS"},
+		Types:     []string{"simba", "eco", "big", "bwopt"},
+	}
+	ctx := context.Background()
+	names := func(seed uint64) string {
+		opts := evolveTestOpts(t)
+		rep, err := Evolve(ctx, space, EvolveOptions{
+			Options: opts, Generations: 3, Population: 6, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, e := range rep.Evals {
+			out += e.Name + "\n"
+		}
+		return out
+	}
+	if names(1) == names(99) {
+		t.Error("seeds 1 and 99 visited identical genome sequences on a 262k-point space")
+	}
+}
+
+// TestEvolveBeatsEnumeration is the issue's headline acceptance: on the
+// default homogeneous space the evolved frontier reaches at least 95%
+// of the exhaustive frontier's hypervolume while running strictly fewer
+// full streaming evaluations than enumeration would (one per
+// candidate).
+func TestEvolveBeatsEnumeration(t *testing.T) {
+	space := Space{} // default 8-candidate space
+	ctx := context.Background()
+	opts := evolveTestOpts(t)
+
+	exhaustive, err := Explore(ctx, space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evolve(ctx, space, EvolveOptions{
+		Options: opts, Generations: 5, Population: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := len(space.Candidates()); rep.Evaluated >= n {
+		t.Errorf("evolve streamed %d candidates, enumeration costs %d — no saving", rep.Evaluated, n)
+	}
+	// Shared reference point: componentwise worst over both frontiers,
+	// padded so boundary points contribute volume.
+	var ref []float64
+	for _, rp := range [][]Eval{exhaustive.Frontier, rep.Frontier} {
+		for _, e := range rp {
+			v := objVec(exhaustive.Objectives, e.P99Ms, e.EnergyJ, e.PEs)
+			if ref == nil {
+				ref = append([]float64(nil), v...)
+				continue
+			}
+			for i := range ref {
+				ref[i] = max(ref[i], v[i])
+			}
+		}
+	}
+	for i := range ref {
+		ref[i] *= 1.01
+	}
+	vecs := func(fr []Eval) [][]float64 {
+		var out [][]float64
+		for _, e := range fr {
+			out = append(out, objVec(exhaustive.Objectives, e.P99Ms, e.EnergyJ, e.PEs))
+		}
+		return out
+	}
+	hvFull := Hypervolume(vecs(exhaustive.Frontier), ref)
+	hvEvolved := Hypervolume(vecs(rep.Frontier), ref)
+	if hvFull <= 0 {
+		t.Fatalf("degenerate exhaustive hypervolume %g", hvFull)
+	}
+	if hvEvolved < 0.95*hvFull {
+		t.Errorf("evolved hypervolume %g below 95%% of exhaustive %g", hvEvolved, hvFull)
+	}
+	if rep.Evolution == nil {
+		t.Fatal("missing evolution stats")
+	}
+	if rep.Evolution.SpaceSize != space.Size() || rep.Evolution.Seeded == 0 {
+		t.Errorf("evolution stats: %+v", rep.Evolution)
+	}
+	if rep.Evolution.Hypervolume <= 0 {
+		t.Errorf("self-referenced hypervolume %g", rep.Evolution.Hypervolume)
+	}
+}
+
+// TestEvolveMemoAbsorbsReencounters: on a tiny space a multi-generation
+// run must revisit genomes, and every revisit must be absorbed by the
+// memo rather than re-simulated.
+func TestEvolveMemoAbsorbsReencounters(t *testing.T) {
+	space := Space{Meshes: []MeshDim{{2, 1}}, Dataflows: []string{"OS", "WS"}}
+	opts := evolveTestOpts(t)
+	rep, err := Evolve(context.Background(), space, EvolveOptions{
+		Options: opts, Generations: 4, Population: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MemoHits == 0 {
+		t.Error("no memo hits on a 2-candidate space over 4 generations")
+	}
+	// Unique records can never exceed the space itself.
+	if len(rep.Evals) > 2 {
+		t.Errorf("%d unique records on a 2-candidate space", len(rep.Evals))
+	}
+	seen := map[string]bool{}
+	for _, e := range rep.Evals {
+		if seen[e.Name] {
+			t.Errorf("candidate %s recorded twice", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestEvolveRejectsBadInput(t *testing.T) {
+	ctx := context.Background()
+	opts := evolveTestOpts(t)
+	if _, err := Evolve(ctx, Space{}, EvolveOptions{}); err == nil {
+		t.Error("no scenarios accepted")
+	}
+	if _, err := Evolve(ctx, Space{}, EvolveOptions{Options: opts, Population: 1}); err == nil {
+		t.Error("population 1 accepted")
+	}
+	if _, err := Evolve(ctx, Space{}, EvolveOptions{Options: opts, Generations: -1}); err == nil {
+		t.Error("negative generations accepted")
+	}
+	if _, err := Evolve(ctx, Space{Types: []string{"nosuch"}}, EvolveOptions{Options: opts}); err == nil {
+		t.Error("unknown chiplet type accepted")
+	}
+}
+
+func TestEnumerateTypedLimits(t *testing.T) {
+	s := Space{Meshes: []MeshDim{{2, 2}}, Dataflows: []string{"OS"}, Types: []string{"simba", "eco"}}
+	cands, err := s.EnumerateTyped(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 16 {
+		t.Fatalf("enumerated %d candidates, want 16", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		n := c.Name()
+		if seen[n] {
+			t.Errorf("duplicate candidate %s", n)
+		}
+		seen[n] = true
+	}
+	if _, err := s.EnumerateTyped(15); err == nil {
+		t.Error("over-limit enumeration accepted")
+	}
+	if _, err := (Space{Meshes: []MeshDim{{6, 6}}, Types: []string{"simba", "eco"}}).EnumerateTyped(1000); err == nil {
+		t.Error("2^36-point space enumerated")
+	}
+}

@@ -15,9 +15,11 @@ package pareto
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"mcmnpu/internal/chiplet"
 	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/pipeline"
@@ -105,21 +107,28 @@ func ParseMeshes(csv string) ([]MeshDim, error) {
 	return out, nil
 }
 
-// Candidate is one point of the design space: a mesh of Simba chiplets,
-// a package-wide dataflow, and optionally a NoP link-bandwidth override
-// (0 keeps the package default).
+// Candidate is one point of the design space: a mesh of chiplets, a
+// package-wide dataflow, optionally a NoP link-bandwidth override (0
+// keeps the package default), and optionally a chiplet-type assignment
+// from the built-in library — nil for the homogeneous simba default, a
+// single name for a uniform type, or one run-length-compressed entry
+// set covering the whole mesh row-major (chiplet.ExpandTypes syntax).
 type Candidate struct {
 	Mesh      MeshDim
 	Dataflow  string
 	LinkBWGBs float64
+	Types     []string `json:"types,omitempty"`
 }
 
 // Name is the candidate's unique, stable identifier ("6x6/OS",
-// "8x8/WS/bw200").
+// "8x8/WS/bw200", "4x4/OS/t=eco*3,simba*13").
 func (c Candidate) Name() string {
 	n := fmt.Sprintf("%s/%s", c.Mesh, c.Dataflow)
 	if c.LinkBWGBs > 0 {
 		n += fmt.Sprintf("/bw%g", c.LinkBWGBs)
+	}
+	if len(c.Types) > 0 {
+		n += "/t=" + strings.Join(c.Types, ",")
 	}
 	return n
 }
@@ -130,6 +139,7 @@ func (c Candidate) Name() string {
 func (c Candidate) Apply(sp scenario.Spec) scenario.Spec {
 	sp.Package = fmt.Sprintf("mesh:%dx%d", c.Mesh.W, c.Mesh.H)
 	sp.Dataflow = c.Dataflow
+	sp.ChipletTypes = c.Types
 	if c.LinkBWGBs > 0 {
 		p := nop.DefaultParams()
 		if sp.NoP != nil {
@@ -142,11 +152,17 @@ func (c Candidate) Apply(sp scenario.Spec) scenario.Spec {
 }
 
 // Space is the candidate cross product. Zero-valued fields fall back to
-// the defaults (DefaultSpace) at enumeration time.
+// the defaults (DefaultSpace) at enumeration time. Types, when set,
+// adds the heterogeneous chiplet-type axis: Candidates() enumerates
+// only the uniform-type corners (the exhaustive explorer's grid), while
+// the evolutionary explorer searches the full per-chiplet assignment
+// space — Size() counts it — and EnumerateTyped expands it completely
+// for oracle tests on small meshes.
 type Space struct {
 	Meshes    []MeshDim
 	Dataflows []string  // "OS" / "WS"
 	LinkBWGBs []float64 // 0 entries keep the package-default bandwidth
+	Types     []string  // chiplet library type names (empty = homogeneous simba)
 }
 
 // DefaultSpace brackets the paper's 6x6/OS operating point: meshes from
@@ -160,12 +176,12 @@ func DefaultSpace() Space {
 	}
 }
 
-// Candidates enumerates the cross product in deterministic order
-// (mesh-major, then dataflow, then bandwidth). Duplicate axis values
-// (e.g. "-meshes 6x6,6x6") collapse to one candidate — names are
-// unique, so a duplicate would otherwise be evaluated twice and render
-// twice in the frontier.
-func (s Space) Candidates() []Candidate {
+// WithDefaults returns the space with empty axes replaced by
+// DefaultSpace's and duplicate axis values collapsed (order-preserving)
+// — the canonical axes every enumeration, genome encoding and request
+// hash works from. The Types axis has no default: empty means the
+// homogeneous space.
+func (s Space) WithDefaults() Space {
 	d := DefaultSpace()
 	if len(s.Meshes) == 0 {
 		s.Meshes = d.Meshes
@@ -176,20 +192,128 @@ func (s Space) Candidates() []Candidate {
 	if len(s.LinkBWGBs) == 0 {
 		s.LinkBWGBs = d.LinkBWGBs
 	}
-	out := make([]Candidate, 0, len(s.Meshes)*len(s.Dataflows)*len(s.LinkBWGBs))
-	seen := map[Candidate]bool{}
+	out := Space{}
+	seenM := map[MeshDim]bool{}
+	for _, m := range s.Meshes {
+		if !seenM[m] {
+			seenM[m] = true
+			out.Meshes = append(out.Meshes, m)
+		}
+	}
+	seenD := map[string]bool{}
+	for _, df := range s.Dataflows {
+		if !seenD[df] {
+			seenD[df] = true
+			out.Dataflows = append(out.Dataflows, df)
+		}
+	}
+	seenB := map[float64]bool{}
+	for _, bw := range s.LinkBWGBs {
+		if !seenB[bw] {
+			seenB[bw] = true
+			out.LinkBWGBs = append(out.LinkBWGBs, bw)
+		}
+	}
+	seenT := map[string]bool{}
+	for _, t := range s.Types {
+		if !seenT[t] {
+			seenT[t] = true
+			out.Types = append(out.Types, t)
+		}
+	}
+	return out
+}
+
+// Candidates enumerates the grid corners in deterministic order
+// (mesh-major, then dataflow, then bandwidth, then uniform type).
+// Duplicate axis values (e.g. "-meshes 6x6,6x6") collapse to one
+// candidate — names are unique, so a duplicate would otherwise be
+// evaluated twice and render twice in the frontier. With a Types axis
+// each corner carries one uniform type; mixed assignments are the
+// evolutionary explorer's territory.
+func (s Space) Candidates() []Candidate {
+	s = s.WithDefaults()
+	types := [][]string{nil}
+	if len(s.Types) > 0 {
+		types = types[:0]
+		for _, t := range s.Types {
+			types = append(types, []string{t})
+		}
+	}
+	out := make([]Candidate, 0, len(s.Meshes)*len(s.Dataflows)*len(s.LinkBWGBs)*len(types))
 	for _, m := range s.Meshes {
 		for _, df := range s.Dataflows {
 			for _, bw := range s.LinkBWGBs {
-				c := Candidate{Mesh: m, Dataflow: df, LinkBWGBs: bw}
-				if !seen[c] {
-					seen[c] = true
-					out = append(out, c)
+				for _, ts := range types {
+					out = append(out, Candidate{Mesh: m, Dataflow: df, LinkBWGBs: bw, Types: ts})
 				}
 			}
 		}
 	}
 	return out
+}
+
+// Size counts the full design space including every per-chiplet type
+// assignment — |types|^(W*H) per mesh — as a float64, since
+// heterogeneous spaces overflow int64 long before they trouble a
+// float's exponent.
+func (s Space) Size() float64 {
+	s = s.WithDefaults()
+	perMesh := float64(len(s.Dataflows) * len(s.LinkBWGBs))
+	var total float64
+	for _, m := range s.Meshes {
+		if len(s.Types) == 0 {
+			total += perMesh
+			continue
+		}
+		total += perMesh * math.Pow(float64(len(s.Types)), float64(m.W*m.H))
+	}
+	return total
+}
+
+// EnumerateTyped expands the complete space — every per-chiplet type
+// assignment of every mesh — in deterministic order, erroring when the
+// space exceeds limit. It exists for the oracle property tests that
+// brute-force small heterogeneous spaces; production searches go
+// through Evolve.
+func (s Space) EnumerateTyped(limit int) ([]Candidate, error) {
+	s = s.WithDefaults()
+	if size := s.Size(); size > float64(limit) {
+		return nil, fmt.Errorf("pareto: space holds %g candidates (limit %d)", size, limit)
+	}
+	if len(s.Types) == 0 {
+		return s.Candidates(), nil
+	}
+	var out []Candidate
+	for _, m := range s.Meshes {
+		n := m.W * m.H
+		assign := make([]int, n)
+		for {
+			names := make([]string, n)
+			for i, ti := range assign {
+				names[i] = s.Types[ti]
+			}
+			for _, df := range s.Dataflows {
+				for _, bw := range s.LinkBWGBs {
+					out = append(out, Candidate{Mesh: m, Dataflow: df, LinkBWGBs: bw,
+						Types: chiplet.CompressTypes(names)})
+				}
+			}
+			// Odometer increment over the per-chiplet type digits.
+			i := n - 1
+			for ; i >= 0; i-- {
+				assign[i]++
+				if assign[i] < len(s.Types) {
+					break
+				}
+				assign[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
 }
 
 // Eval is one candidate's evaluation record. Lower bounds are analytic
@@ -245,17 +369,37 @@ type Options struct {
 }
 
 // Report is one exploration's full outcome. Evals lists every candidate
-// in enumeration order; Frontier lists the non-dominated subset in the
-// frontier's canonical order. The report marshals to deterministic JSON
-// — the CLI's serial-vs-pool equivalence is asserted on those bytes.
+// in enumeration order (first-seen order for the evolutionary
+// explorer); Frontier lists the non-dominated subset in the frontier's
+// canonical order. The report marshals to deterministic JSON — the
+// CLI's serial-vs-pool equivalence is asserted on those bytes.
+//
+// Evaluated counts candidates that ran the full streaming simulation;
+// Pruned counts candidates skipped because their discounted analytic
+// bound was already dominated; MemoHits counts genome re-encounters
+// the content-keyed memo absorbed without any work (always 0 for the
+// exhaustive explorer, whose enumeration never repeats a candidate).
 type Report struct {
-	Objectives []string `json:"objectives"`
-	Scenarios  []string `json:"scenarios"`
-	Evals      []Eval   `json:"evals"`
-	Frontier   []Eval   `json:"frontier"`
-	Evaluated  int      `json:"evaluated"`
-	Pruned     int      `json:"pruned"`
-	Infeasible int      `json:"infeasible"`
+	Objectives []string   `json:"objectives"`
+	Scenarios  []string   `json:"scenarios"`
+	Evals      []Eval     `json:"evals"`
+	Frontier   []Eval     `json:"frontier"`
+	Evaluated  int        `json:"evaluated"`
+	Pruned     int        `json:"pruned"`
+	Infeasible int        `json:"infeasible"`
+	MemoHits   int        `json:"memo_hits,omitempty"`
+	Evolution  *Evolution `json:"evolution,omitempty"`
+}
+
+// Evolution records the evolutionary explorer's run parameters and
+// headline statistics; nil on exhaustive reports.
+type Evolution struct {
+	Generations int     `json:"generations"`
+	Population  int     `json:"population"`
+	Seed        uint64  `json:"seed"`
+	SpaceSize   float64 `json:"space_size"`
+	Seeded      int     `json:"seeded"` // gen-0 individuals taken from the bound frontier
+	Hypervolume float64 `json:"hypervolume"`
 }
 
 // Explore evaluates the space against the scenarios and returns the
@@ -272,8 +416,14 @@ type Report struct {
 //
 //perf:hot — evaluates the whole candidate x scenario product; both phases loop at scale
 func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
+	return ExploreCandidates(ctx, space.Candidates(), opts)
+}
+
+// resolveObjectives validates opts and returns the canonical objective
+// selection.
+func resolveObjectives(opts Options) ([]string, error) {
 	if len(opts.Scenarios) == 0 {
-		return Report{}, fmt.Errorf("pareto: no scenarios selected")
+		return nil, fmt.Errorf("pareto: no scenarios selected")
 	}
 	objectives := opts.Objectives
 	if len(objectives) == 0 {
@@ -283,10 +433,33 @@ func Explore(ctx context.Context, space Space, opts Options) (Report, error) {
 		switch o {
 		case ObjP99, ObjEnergy, ObjPEs:
 		default:
-			return Report{}, fmt.Errorf("pareto: unknown objective %q", o)
+			return nil, fmt.Errorf("pareto: unknown objective %q", o)
 		}
 	}
-	cands := space.Candidates()
+	return objectives, nil
+}
+
+// ExploreCandidates runs the exhaustive two-phase evaluation over an
+// explicit candidate list (duplicate names collapse to one candidate).
+// Explore is this over Space.Candidates(); the oracle property tests
+// call it directly with EnumerateTyped output to brute-force small
+// heterogeneous spaces.
+//
+//perf:hot — evaluates the whole candidate x scenario product; both phases loop at scale
+func ExploreCandidates(ctx context.Context, cands []Candidate, opts Options) (Report, error) {
+	objectives, err := resolveObjectives(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	uniq := make([]Candidate, 0, len(cands))
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if n := c.Name(); !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, c)
+		}
+	}
+	cands = uniq
 
 	rep := Report{
 		Objectives: objectives,

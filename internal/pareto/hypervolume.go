@@ -1,0 +1,74 @@
+// Hypervolume: the canonical multi-objective quality indicator — the
+// volume of objective space dominated by a point set, bounded by a
+// reference point. All objectives minimize, so a point contributes the
+// box between itself and the reference. Exact computation by recursive
+// dimension slicing: fine for frontier-sized sets (tens of points),
+// which is all the explorer ever scores.
+package pareto
+
+import "sort"
+
+// Hypervolume returns the volume dominated by pts (minimization)
+// within the box bounded by ref. A point with any coordinate at or
+// beyond the reference contributes nothing and is dropped; an empty or
+// fully-out-of-box set scores 0. The result is independent of input
+// order (the sweep sorts internally).
+func Hypervolume(pts [][]float64, ref []float64) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	in := make([][]float64, 0, len(pts))
+	for _, p := range pts {
+		if len(p) != len(ref) {
+			continue
+		}
+		ok := true
+		for i := range p {
+			if p[i] >= ref[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			in = append(in, p)
+		}
+	}
+	return hvRecurse(in, ref)
+}
+
+// hvRecurse computes the hypervolume by slicing on the last dimension:
+// points sorted ascending by it, each slab's width times the
+// (d-1)-dimensional hypervolume of the points active in the slab.
+func hvRecurse(pts [][]float64, ref []float64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	d := len(ref)
+	if d == 1 {
+		best := pts[0][0]
+		for _, p := range pts[1:] {
+			if p[0] < best {
+				best = p[0]
+			}
+		}
+		return ref[0] - best
+	}
+	order := make([][]float64, len(pts))
+	copy(order, pts)
+	sort.Slice(order, func(i, j int) bool { return order[i][d-1] < order[j][d-1] })
+
+	var vol float64
+	proj := make([][]float64, 0, len(order))
+	for i := 0; i < len(order); {
+		z := order[i][d-1]
+		for ; i < len(order) && order[i][d-1] == z; i++ {
+			proj = append(proj, order[i][:d-1])
+		}
+		next := ref[d-1]
+		if i < len(order) {
+			next = order[i][d-1]
+		}
+		vol += hvRecurse(proj, ref[:d-1]) * (next - z)
+	}
+	return vol
+}

@@ -1,0 +1,163 @@
+// NSGA-II primitives: fast non-dominated sorting and crowding-distance
+// assignment over evaluated individuals (Deb et al., 2002). Pure
+// functions over in-memory vectors — all selection decisions the
+// evolutionary explorer makes run through these, serially, so the
+// search trajectory is a deterministic function of the seed.
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// indiv is one population slot: a genome's decoded candidate name and
+// its objective vector. A nil vector marks an infeasible candidate —
+// dominated by every feasible one, never dominating anything.
+type indiv struct {
+	g    genome
+	name string
+	vec  []float64
+}
+
+// dominatesIndiv reports whether a dominates b, with infeasible
+// individuals (nil vec) dominated by every feasible one.
+func dominatesIndiv(a, b indiv) bool {
+	if a.vec == nil {
+		return false
+	}
+	if b.vec == nil {
+		return true
+	}
+	return Dominates(a.vec, b.vec)
+}
+
+// nondominatedFronts partitions pop into fronts: fronts[0] holds the
+// indices of non-dominated individuals, fronts[1] those dominated only
+// by front 0, and so on. Index order within a front follows population
+// order (deterministic).
+func nondominatedFronts(pop []indiv) [][]int {
+	n := len(pop)
+	domCount := make([]int, n)    // how many individuals dominate i
+	dominated := make([][]int, n) // who i dominates
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominatesIndiv(pop[i], pop[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if dominatesIndiv(pop[j], pop[i]) {
+				domCount[i]++
+			}
+		}
+	}
+	fronts := make([][]int, 0, 4)
+	cur := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			cur = append(cur, i)
+		}
+	}
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		next := make([]int, 0, n-len(cur)) //lint:allow hotpathalloc -- one slice per dominance level (a handful per generation); fronts alias these, so scratch reuse would corrupt earlier levels
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		sort.Ints(next)
+		cur = next
+	}
+	return fronts
+}
+
+// ranks flattens fronts into a per-individual rank (0 = best front).
+func ranks(pop []indiv, fronts [][]int) []int {
+	r := make([]int, len(pop))
+	for fi, f := range fronts {
+		for _, i := range f {
+			r[i] = fi
+		}
+	}
+	return r
+}
+
+// crowdingDistances assigns each member of one front its crowding
+// distance: the normalized objective-space perimeter of the cuboid
+// spanned by its neighbours, with boundary points at +Inf so extremes
+// always survive truncation. Returned aligned to pop indices (zero for
+// individuals outside the front).
+func crowdingDistances(pop []indiv, front []int) []float64 {
+	dist := make([]float64, len(pop))
+	if len(front) == 0 {
+		return dist
+	}
+	m := 0
+	for _, i := range front {
+		if pop[i].vec != nil {
+			m = len(pop[i].vec)
+			break
+		}
+	}
+	if m == 0 {
+		return dist
+	}
+	idx := make([]int, len(front))
+	for k, i := range front {
+		idx[k] = i
+	}
+	for obj := 0; obj < m; obj++ {
+		sort.SliceStable(idx, func(a, b int) bool { //lint:allow hotpathalloc -- one interface box per objective (≤3) per front; dwarfed by the streaming simulations the crowding order gates
+			va, vb := pop[idx[a]], pop[idx[b]]
+			if va.vec == nil || vb.vec == nil {
+				return va.vec != nil
+			}
+			if va.vec[obj] != vb.vec[obj] {
+				return va.vec[obj] < vb.vec[obj]
+			}
+			return va.name < vb.name
+		})
+		lo, hi := idx[0], idx[len(idx)-1]
+		dist[lo] = math.Inf(1)
+		if pop[hi].vec != nil {
+			dist[hi] = math.Inf(1)
+		}
+		span := 0.0
+		if pop[lo].vec != nil && pop[hi].vec != nil {
+			span = pop[hi].vec[obj] - pop[lo].vec[obj]
+		}
+		if span <= 0 {
+			continue
+		}
+		for k := 1; k < len(idx)-1; k++ {
+			i := idx[k]
+			if pop[i].vec == nil || math.IsInf(dist[i], 1) {
+				continue
+			}
+			prev, next := pop[idx[k-1]], pop[idx[k+1]]
+			if prev.vec == nil || next.vec == nil {
+				continue
+			}
+			dist[i] += (next.vec[obj] - prev.vec[obj]) / span
+		}
+	}
+	return dist
+}
+
+// better is the NSGA-II total preference order: lower rank first, then
+// larger crowding distance, then name (the deterministic tiebreak that
+// keeps tournament and truncation decisions independent of slice
+// layout).
+func better(a, b indiv, rankA, rankB int, crowdA, crowdB float64) bool {
+	if rankA != rankB {
+		return rankA < rankB
+	}
+	if crowdA != crowdB {
+		return crowdA > crowdB
+	}
+	return a.name < b.name
+}

@@ -1,0 +1,104 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+)
+
+func ind(name string, vec ...float64) indiv {
+	if len(vec) == 0 {
+		return indiv{name: name}
+	}
+	return indiv{name: name, vec: vec}
+}
+
+func TestNondominatedFronts(t *testing.T) {
+	pop := []indiv{
+		ind("a", 1, 1), // dominates everything feasible
+		ind("b", 2, 2),
+		ind("c", 1, 3),
+		ind("d", 3, 1),
+		ind("e"), // infeasible: nil vec, dominated by all feasible
+	}
+	fronts := nondominatedFronts(pop)
+	if len(fronts) != 3 {
+		t.Fatalf("fronts: %v", fronts)
+	}
+	if len(fronts[0]) != 1 || fronts[0][0] != 0 {
+		t.Errorf("front 0: %v", fronts[0])
+	}
+	if len(fronts[1]) != 3 || fronts[1][0] != 1 || fronts[1][1] != 2 || fronts[1][2] != 3 {
+		t.Errorf("front 1: %v", fronts[1])
+	}
+	if len(fronts[2]) != 1 || fronts[2][0] != 4 {
+		t.Errorf("front 2: %v", fronts[2])
+	}
+	r := ranks(pop, fronts)
+	want := []int{0, 1, 1, 1, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, r[i], want[i])
+		}
+	}
+}
+
+func TestCrowdingDistances(t *testing.T) {
+	// One front on a line: boundaries infinite, the point next to the
+	// wide gap more crowded-distant than the tightly packed one.
+	pop := []indiv{
+		ind("a", 0, 10),
+		ind("b", 1, 9),
+		ind("c", 2, 8),
+		ind("d", 10, 0),
+	}
+	d := crowdingDistances(pop, []int{0, 1, 2, 3})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Errorf("boundary points not infinite: %v", d)
+	}
+	if !(d[2] > d[1]) {
+		t.Errorf("gap-adjacent point c (%.3f) should beat packed b (%.3f)", d[2], d[1])
+	}
+	// All-infeasible front: zero distances, no panic.
+	nilPop := []indiv{ind("x"), ind("y")}
+	for _, v := range crowdingDistances(nilPop, []int{0, 1}) {
+		if v != 0 {
+			t.Errorf("infeasible front distances: %v", v)
+		}
+	}
+}
+
+func TestBetterOrder(t *testing.T) {
+	a, b := ind("a", 1, 1), ind("b", 2, 2)
+	if !better(a, b, 0, 1, 0, 0) {
+		t.Error("lower rank should win")
+	}
+	if !better(b, a, 0, 0, 2, 1) {
+		t.Error("higher crowding should win at equal rank")
+	}
+	if !better(a, b, 0, 0, 1, 1) || better(b, a, 0, 0, 1, 1) {
+		t.Error("name should break full ties")
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	ref := []float64{3, 3}
+	if got := Hypervolume([][]float64{{1, 2}, {2, 1}}, ref); got != 3 {
+		t.Errorf("staircase volume %g, want 3", got)
+	}
+	// A dominated interior point adds nothing; input order is irrelevant.
+	if got := Hypervolume([][]float64{{2.5, 2.5}, {2, 1}, {1, 2}}, ref); got != 3 {
+		t.Errorf("with dominated point %g, want 3", got)
+	}
+	if got := Hypervolume([][]float64{{1, 1}}, []float64{2, 2}); got != 1 {
+		t.Errorf("unit box %g, want 1", got)
+	}
+	if got := Hypervolume([][]float64{{1, 1, 1}}, []float64{2, 3, 4}); got != 6 {
+		t.Errorf("3d box %g, want 6", got)
+	}
+	if got := Hypervolume([][]float64{{5, 5}}, []float64{2, 2}); got != 0 {
+		t.Errorf("out-of-box point contributed %g", got)
+	}
+	if got := Hypervolume(nil, ref); got != 0 {
+		t.Errorf("empty set %g", got)
+	}
+}

@@ -119,7 +119,7 @@ func TestSpaceCandidatesDeterministic(t *testing.T) {
 		t.Fatalf("candidate count %d, want 4", len(a))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].Name() != b[i].Name() {
 			t.Fatalf("enumeration not deterministic at %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}

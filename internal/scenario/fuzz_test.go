@@ -28,6 +28,12 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`{"name":"x"} {"name":"y"}`))
 	f.Add([]byte(`{"name":"x","jitter_ms":0}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:2x2","chiplet_types":["eco"]}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:2x2","chiplet_types":["big*2","eco","simba"]}`))
+	f.Add([]byte(`{"name":"x","package":"simba36","chiplet_types":["bwopt*36"]}`))
+	f.Add([]byte(`{"name":"x","package":"mono1","chiplet_types":["eco"]}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:2x2","chiplet_types":["eco*999"]}`))
+	f.Add([]byte(`{"name":"x","package":"mesh:2x2","chiplet_types":["nosuch"]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := ParseSpec(data)

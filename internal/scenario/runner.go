@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/pipeline"
@@ -227,7 +228,7 @@ func (pr *Prepared) Run(ctx context.Context, opts RunOptions) (Result, error) {
 // buildSchedule assembles the pipeline and runs Algorithm 1 for a
 // compiled bundle.
 func buildSchedule(b Bundle) (*sched.Schedule, error) {
-	p, err := workloads.Perception(b.Config)
+	p, err := compileWorkload(b.Config)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", b.Spec.Name, err)
 	}
@@ -236,6 +237,52 @@ func buildSchedule(b Bundle) (*sched.Schedule, error) {
 		return nil, fmt.Errorf("scenario %s: %w", b.Spec.Name, err)
 	}
 	return s, nil
+}
+
+// workloadMemoCap bounds the compiled-pipeline memo. The registry plus
+// any realistic sweep reuses a handful of workload configurations;
+// the cap only exists so a fuzzer or a long-lived server feeding
+// unique inline specs cannot grow the map without bound (overflow
+// compiles uncached, identical output either way).
+const workloadMemoCap = 256
+
+// workloadMemo caches workloads.Perception output per workload
+// configuration. Compilation is deterministic and a compiled
+// *Pipeline is immutable (sched.Build shares its node slices
+// read-only), so every schedule build of the same workload — the
+// evolve loop's common case, where one scenario is re-evaluated under
+// hundreds of package candidates — can share one compiled pipeline.
+// First store wins: concurrent compilers of the same config converge
+// on one canonical pointer, which also keeps the cost cache's
+// pointer-keyed layer interning compact.
+var workloadMemo = struct {
+	sync.Mutex
+	m map[workloads.Config]*workloads.Pipeline
+}{m: make(map[workloads.Config]*workloads.Pipeline)}
+
+// compileWorkload returns the memoized compilation of cfg. Errors are
+// not cached (they carry no reusable artifact and are outside every
+// hot path).
+func compileWorkload(cfg workloads.Config) (*workloads.Pipeline, error) {
+	workloadMemo.Lock()
+	p, ok := workloadMemo.m[cfg]
+	workloadMemo.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := workloads.Perception(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workloadMemo.Lock()
+	defer workloadMemo.Unlock()
+	if prev, ok := workloadMemo.m[cfg]; ok {
+		return prev, nil
+	}
+	if len(workloadMemo.m) < workloadMemoCap {
+		workloadMemo.m[cfg] = p
+	}
+	return p, nil
 }
 
 // RunAll streams every spec through Run in order, sharing opts (and the

@@ -17,7 +17,6 @@ import (
 	"strings"
 
 	"mcmnpu/internal/chiplet"
-	"mcmnpu/internal/costmodel"
 	"mcmnpu/internal/dataflow"
 	"mcmnpu/internal/nop"
 	"mcmnpu/internal/sched"
@@ -45,6 +44,14 @@ type Spec struct {
 
 	// Dataflow is "OS" (default) or "WS", applied package-wide.
 	Dataflow string `json:"dataflow,omitempty"`
+
+	// ChipletTypes assigns heterogeneous chiplet types from the built-in
+	// library (chiplet.TypeNames) across the package's mesh: empty keeps
+	// the homogeneous simba default, a single bare name applies that type
+	// uniformly, and run-length tokens ("big*3", "eco") must cover every
+	// chiplet row-major. Only Simba-grid packages (simba36, dual72,
+	// mesh:WxH) accept type assignments.
+	ChipletTypes []string `json:"chiplet_types,omitempty"`
 
 	// NoP, when non-nil, overrides the package's interconnect
 	// parameters.
@@ -127,6 +134,15 @@ func (s Spec) Validate() error {
 	if _, _, err := parsePackage(s.Package); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	if len(s.ChipletTypes) > 0 {
+		w, h, ok := packageGrid(s.Package)
+		if !ok {
+			return fmt.Errorf("scenario %s: package %q does not accept chiplet type assignments", s.Name, s.Package)
+		}
+		if _, err := chiplet.ExpandTypes(s.ChipletTypes, w*h); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	if s.NoP != nil {
 		if err := s.NoP.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -184,6 +200,22 @@ func parsePackage(pkg string) (w, h int, err error) {
 	return w, h, nil
 }
 
+// packageGrid returns the Simba-grid dimensions of packages that accept
+// per-chiplet type assignments. Monolithic baselines (mono*) are not
+// grids of library chiplets, so they report ok=false.
+func packageGrid(pkg string) (w, h int, ok bool) {
+	switch pkg {
+	case "simba36":
+		return 6, 6, true
+	case "dual72":
+		return 12, 6, true
+	}
+	if w, h, err := parsePackage(pkg); err == nil && w > 0 {
+		return w, h, true
+	}
+	return 0, 0, false
+}
+
 // Bundle is a compiled, ready-to-run scenario: the workload
 // configuration, the instantiated chiplet package, and the scheduler
 // options for sched.Build.
@@ -206,7 +238,7 @@ func (s Spec) Compile() (Bundle, error) {
 	if err != nil {
 		return Bundle{}, err
 	}
-	m, err := buildMCM(sp.Package, style)
+	m, err := buildMCM(sp.Package, style, sp.ChipletTypes)
 	if err != nil {
 		return Bundle{}, fmt.Errorf("scenario %s: %w", sp.Name, err)
 	}
@@ -220,12 +252,16 @@ func (s Spec) Compile() (Bundle, error) {
 	return Bundle{Spec: sp, Config: sp.Workload, MCM: m, Sched: opts}, nil
 }
 
-func buildMCM(pkg string, style dataflow.Style) (*chiplet.MCM, error) {
+func buildMCM(pkg string, style dataflow.Style, types []string) (*chiplet.MCM, error) {
+	if len(types) == 0 {
+		switch pkg {
+		case "simba36":
+			return chiplet.Simba36(style), nil
+		case "dual72":
+			return chiplet.DualSimba72(style), nil
+		}
+	}
 	switch pkg {
-	case "simba36":
-		return chiplet.Simba36(style), nil
-	case "dual72":
-		return chiplet.DualSimba72(style), nil
 	case "mono1":
 		return chiplet.Baseline(1, style), nil
 	case "mono2":
@@ -233,12 +269,32 @@ func buildMCM(pkg string, style dataflow.Style) (*chiplet.MCM, error) {
 	case "mono4":
 		return chiplet.Baseline(4, style), nil
 	}
-	w, h, err := parsePackage(pkg)
+	w, h, ok := packageGrid(pkg)
+	if !ok {
+		return nil, fmt.Errorf("unknown package %q", pkg)
+	}
+	assignment, err := chiplet.ExpandTypes(types, w*h)
 	if err != nil {
 		return nil, err
 	}
-	return chiplet.New(fmt.Sprintf("simba-%dx%d", w, h), w, h, nop.DefaultParams(),
-		func(nop.Coord) *costmodel.Accel { return costmodel.SimbaChiplet(style) })
+	return chiplet.NewTyped(meshName(w, h, assignment), w, h, nop.DefaultParams(), style, assignment)
+}
+
+// meshName labels a typed mesh package: the legacy simba-WxH for the
+// homogeneous default, TYPE-WxH for a uniform non-simba assignment, and
+// het-WxH for a genuinely mixed one.
+func meshName(w, h int, assignment []string) string {
+	uniform := "simba"
+	for i, t := range assignment {
+		if i == 0 {
+			uniform = t
+			continue
+		}
+		if t != uniform {
+			return fmt.Sprintf("het-%dx%d", w, h)
+		}
+	}
+	return fmt.Sprintf("%s-%dx%d", uniform, w, h)
 }
 
 // Generator builds the scenario's deterministic trace generator for the

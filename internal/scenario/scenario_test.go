@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -194,7 +195,7 @@ func TestSpecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: reparse: %v", s.Name, err)
 		}
-		if back != s {
+		if !reflect.DeepEqual(back, s) {
 			t.Errorf("%s: round-trip mismatch:\n  got %+v\n want %+v", s.Name, back, s)
 		}
 	}

@@ -51,6 +51,7 @@ type stageScratch struct {
 	groups []chainGroup
 	busy   map[nop.Coord]bool
 	idle   []nop.Coord
+	probed map[*costmodel.Accel]float64 // per-unit heterogeneous probe memo
 }
 
 func (s *stageScratch) loadMap() map[nop.Coord]float64 {
@@ -60,6 +61,15 @@ func (s *stageScratch) loadMap() map[nop.Coord]float64 {
 		clear(s.load)
 	}
 	return s.load
+}
+
+func (s *stageScratch) probedMap() map[*costmodel.Accel]float64 {
+	if s.probed == nil {
+		s.probed = make(map[*costmodel.Accel]float64)
+	} else {
+		clear(s.probed)
+	}
+	return s.probed
 }
 
 func (s *stageScratch) busyMap() map[nop.Coord]bool {
@@ -101,20 +111,32 @@ func (ss *StageSchedule) refresh() error {
 	// chiplet whose configuration equals the reference (most pools are
 	// homogeneous meshes of distinct-but-identical Accel objects) would
 	// probe to exactly u.PerShardMs — the cost model reads values, not
-	// identities — so only genuinely different configurations probe.
+	// identities — so only genuinely different configurations probe, and
+	// each distinct accelerator object probes once per unit (typed
+	// packages share one accel instance per type, so a unit spread over
+	// k chiplets of one non-reference type costs one probe, not k).
 	for _, u := range ss.Units {
 		worst := 0.0
+		var probed map[*costmodel.Accel]float64
 		for _, c := range u.Chiplets {
 			a := ss.mcm.At(c)
 			if a == ref || costmodel.AccelEquivalent(a, ref) {
 				worst = maxf(worst, u.PerShardMs)
 				continue
 			}
-			probe := *u
-			if err := (&probe).evalOn(a, ss.cache); err != nil {
-				return err
+			if probed == nil {
+				probed = ss.scratch.probedMap()
 			}
-			worst = maxf(worst, probe.PerShardMs)
+			ms, ok := probed[a]
+			if !ok {
+				probe := *u
+				if err := (&probe).evalOn(a, ss.cache); err != nil {
+					return err
+				}
+				ms = probe.PerShardMs
+				probed[a] = ms
+			}
+			worst = maxf(worst, ms)
 		}
 		if worst > 0 {
 			u.PerShardMs = worst
